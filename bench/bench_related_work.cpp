@@ -1,0 +1,160 @@
+// §II related-work analysis — variable component count on a GPU.
+//
+// The paper dismisses the variable-K approach ([18]/[19]) for GPU targets:
+// lockstep warps run every lane to the warp-wide maximum component count,
+// and the per-lane slot indices produce unbalanced memory access. This
+// bench implements that approach and measures both effects against the
+// paper's fixed-K level-D kernel (the closest fixed-K analogue: branchy,
+// no sort):
+//   * lane utilization of the component loops (useful / lockstep-charged),
+//   * memory access efficiency,
+//   * modeled kernel time per frame.
+// Swept over scene multimodality, because the variable-K win on a CPU —
+// and its loss on a GPU — both depend on how mixed the warps are.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "mog/cpu/adaptive_mog.hpp"
+#include "mog/gpusim/timing_model.hpp"
+#include "mog/kernels/adaptive_kernel.hpp"
+#include "mog/kernels/mog_kernels.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog::bench {
+namespace {
+
+constexpr int kW = 320, kH = 180, kFrames = 10;
+
+struct Comparison {
+  double adaptive_kernel_ms = 0;   // modeled, per frame
+  double fixed_kernel_ms = 0;
+  double lane_utilization = 0;
+  double adaptive_mem_eff = 0;
+  double fixed_mem_eff = 0;
+  double cpu_mean_active = 0;      // adaptive CPU: mean active components
+};
+
+Comparison compare(double texture_fraction) {
+  SceneConfig sc;
+  sc.width = kW;
+  sc.height = kH;
+  sc.seed = 5;
+  sc.texture_fraction = texture_fraction;
+  const SyntheticScene scene{sc};
+
+  AdaptiveMogParams ap;  // K_max = 3, like the fixed-K baseline
+  const auto tp = TypedMogParams<double>::from(ap.base);
+
+  Comparison out;
+  // --- adaptive GPU ---------------------------------------------------------
+  {
+    gpusim::Device dev;
+    kernels::AdaptiveDeviceState<double> state{dev, kW, kH, ap};
+    auto fb = dev.memory().alloc<std::uint8_t>(kW * kH);
+    auto gb = dev.memory().alloc<std::uint8_t>(kW * kH);
+    kernels::AdaptiveCounters counters;
+    gpusim::KernelStats total;
+    FrameU8 frame;
+    for (int t = 0; t < kFrames; ++t) {
+      frame = scene.frame(t);
+      gpusim::copy_to_device(fb, frame.data(), frame.size());
+      total += kernels::launch_adaptive_frame<double>(
+          dev, state, fb, gb, tp, static_cast<double>(ap.prune_weight),
+          &counters);
+    }
+    const auto per_frame = total.averaged_over(kFrames);
+    const auto occ = gpusim::compute_occupancy(
+        dev.spec(), per_frame.regs_per_thread, per_frame.threads_per_block,
+        per_frame.shared_bytes_per_block);
+    out.adaptive_kernel_ms =
+        1e3 * gpusim::kernel_time(per_frame, occ, dev.spec()).total_seconds;
+    out.lane_utilization = counters.lane_utilization();
+    out.adaptive_mem_eff = per_frame.memory_access_efficiency();
+  }
+  // --- fixed-K GPU (level D: branchy no-sort, the closest analogue) ---------
+  {
+    gpusim::Device dev;
+    kernels::DeviceMogState<double> state{dev, kW, kH, ap.base,
+                                          kernels::ParamLayout::kSoA};
+    auto fb = dev.memory().alloc<std::uint8_t>(kW * kH);
+    auto gb = dev.memory().alloc<std::uint8_t>(kW * kH);
+    gpusim::KernelStats total;
+    FrameU8 frame;
+    for (int t = 0; t < kFrames; ++t) {
+      frame = scene.frame(t);
+      gpusim::copy_to_device(fb, frame.data(), frame.size());
+      total += kernels::launch_mog_frame<double>(dev, state, fb, gb, tp,
+                                                 kernels::OptLevel::kD);
+    }
+    const auto per_frame = total.averaged_over(kFrames);
+    const auto occ = gpusim::compute_occupancy(
+        dev.spec(), per_frame.regs_per_thread, per_frame.threads_per_block,
+        per_frame.shared_bytes_per_block);
+    out.fixed_kernel_ms =
+        1e3 * gpusim::kernel_time(per_frame, occ, dev.spec()).total_seconds;
+    out.fixed_mem_eff = per_frame.memory_access_efficiency();
+  }
+  // --- adaptive CPU (the approach's home turf) -------------------------------
+  {
+    AdaptiveMog<double> cpu{kW, kH, ap};
+    FrameU8 frame, fg;
+    for (int t = 0; t < kFrames; ++t) {
+      frame = scene.frame(t);
+      cpu.apply(frame, fg);
+    }
+    out.cpu_mean_active = cpu.model().mean_active_components();
+  }
+  return out;
+}
+
+void related_work(benchmark::State& state) {
+  const double texture = static_cast<double>(state.range(0)) / 100.0;
+  Comparison c;
+  for (auto _ : state) c = compare(texture);
+  state.counters["lane_util_pct"] = 100.0 * c.lane_utilization;
+  state.counters["adaptive_ms"] = c.adaptive_kernel_ms;
+  state.counters["fixedK_ms"] = c.fixed_kernel_ms;
+  state.counters["cpu_mean_K"] = c.cpu_mean_active;
+}
+BENCHMARK(related_work)
+    ->Arg(0)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(90)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void epilogue() {
+  std::printf(
+      "\n=== §II related work — variable-K MoG on lockstep hardware ===\n");
+  std::printf("%-12s %10s %12s %12s %12s %12s %12s\n", "texture%",
+              "cpu_mean_K", "lane_util%", "adapt_ms/fr", "fixedK_ms/fr",
+              "adapt_eff%", "fixed_eff%");
+  for (const double texture : {0.0, 0.3, 0.6, 0.9}) {
+    const Comparison c = compare(texture);
+    std::printf("%-12.0f %10.2f %12.1f %12.2f %12.2f %12.1f %12.1f\n",
+                100.0 * texture, c.cpu_mean_active,
+                100.0 * c.lane_utilization, c.adaptive_kernel_ms,
+                c.fixed_kernel_ms, 100.0 * c.adaptive_mem_eff,
+                100.0 * c.fixed_mem_eff);
+  }
+  std::printf(
+      "(the paper's §II argument, quantified: the CPU-side win — mean "
+      "active components well under K — does not transfer to the GPU, "
+      "where warps run to the lane maximum and ragged accesses burn "
+      "bandwidth; the fixed-K kernel stays ahead)\n");
+}
+
+}  // namespace
+}  // namespace mog::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  mog::bench::epilogue();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Each bench binary registers one google-benchmark case per experimental
+// configuration (Iterations(1) — the simulator is deterministic), records
+// the ExperimentResult, and prints a paper-vs-measured table after the run.
+//
+// Workload scale is reduced by default (counters are per-warp properties and
+// both timing models are linear in pixels/frames; see DESIGN.md §2) and can
+// be overridden with MOG_BENCH_WIDTH / MOG_BENCH_HEIGHT / MOG_BENCH_FRAMES.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mog/pipeline/experiment.hpp"
+
+namespace mog::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Baseline experiment configuration for all benches.
+inline ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.width = env_int("MOG_BENCH_WIDTH", 512);
+  cfg.height = env_int("MOG_BENCH_HEIGHT", 288);
+  cfg.frames = env_int("MOG_BENCH_FRAMES", 16);
+  cfg.warmup_frames = 4;
+  return cfg;
+}
+
+/// Ratio that scales per-frame counters to the paper's full-HD frame.
+inline double fullhd_ratio(const ExperimentConfig& cfg) {
+  return (1920.0 * 1080.0) / (static_cast<double>(cfg.width) * cfg.height);
+}
+
+/// Result registry keyed by row label, filled by benchmark bodies and
+/// consumed by the end-of-run table printer.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+  void put(const std::string& key, const ExperimentResult& result) {
+    results_[key] = result;
+    order_.push_back(key);
+  }
+  const ExperimentResult& get(const std::string& key) const {
+    return results_.at(key);
+  }
+  bool has(const std::string& key) const { return results_.count(key) > 0; }
+  const std::vector<std::string>& order() const { return order_; }
+
+ private:
+  std::map<std::string, ExperimentResult> results_;
+  std::vector<std::string> order_;
+};
+
+/// Run one experiment inside a benchmark body, exporting headline counters
+/// to the benchmark UI and stashing the full result for the table printer.
+inline void run_and_record(benchmark::State& state, const std::string& key,
+                           const ExperimentConfig& cfg) {
+  ExperimentResult result;
+  for (auto _ : state) {
+    result = run_gpu_experiment(cfg);
+  }
+  state.counters["speedup_x"] = result.speedup;
+  state.counters["kernel_ms_fullhd"] =
+      1e3 * result.kernel_timing.total_seconds * fullhd_ratio(cfg);
+  state.counters["occupancy_pct"] = 100.0 * result.occupancy.achieved;
+  state.counters["branch_eff_pct"] =
+      100.0 * result.per_frame.branch_efficiency();
+  state.counters["mem_eff_pct"] =
+      100.0 * result.per_frame.memory_access_efficiency();
+  Registry::instance().put(key, result);
+}
+
+// --- table printing ----------------------------------------------------------
+
+struct Row {
+  std::string label;
+  std::vector<double> values;
+};
+
+inline void print_table(const std::string& title,
+                        const std::vector<std::string>& columns,
+                        const std::vector<Row>& rows,
+                        const std::string& footnote = {}) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-22s", "");
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("%-22s", r.label.c_str());
+    for (double v : r.values) std::printf("%16.2f", v);
+    std::printf("\n");
+  }
+  if (!footnote.empty()) std::printf("%s\n", footnote.c_str());
+}
+
+/// Standard main: run benchmarks, then the bench-specific epilogue.
+#define MOG_BENCH_MAIN(epilogue)                                   \
+  int main(int argc, char** argv) {                                \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))      \
+      return 1;                                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    epilogue();                                                    \
+    return 0;                                                      \
+  }
+
+}  // namespace mog::bench

@@ -1,0 +1,246 @@
+// mogcli — file-based background subtraction.
+//
+// Processes a sequence of binary PGM frames (printf-style pattern, e.g.
+// frames/%04d.pgm) and writes foreground masks; the path real footage takes
+// through the library. Supports every backend and optimization level, the
+// foreground-validation post-processing pass, and background-model
+// persistence for warm restarts.
+//
+// Usage:
+//   mogcli --in frames/%04d.pgm --out masks/%04d.pgm [options]
+//
+// Options:
+//   --start N --count N      frame index range (default 0, until missing)
+//   --backend gpu|serial|simd|parallel      (default gpu)
+//   --level A..F             GPU optimization level (default F)
+//   --tiled G                tiled variant with frame group G
+//   --float                  single precision
+//   --components K           Gaussian components (default 3)
+//   --validate               apply foreground validation (despeckle etc.)
+//   --save-model PATH        persist the background model on exit
+//   --load-model PATH        warm-start from a saved model (serial backend)
+//   --background PATH        write the final background estimate PGM
+//   --demo DIR               no input needed: synthesize a demo sequence
+//                            into DIR first, then process it
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mog/core/background_subtractor.hpp"
+#include "mog/cpu/model_io.hpp"
+#include "mog/cpu/serial_mog.hpp"
+#include "mog/postproc/validation.hpp"
+#include "mog/video/pnm_io.hpp"
+#include "mog/video/scene.hpp"
+
+namespace {
+
+struct Options {
+  std::string in_pattern, out_pattern;
+  int start = 0;
+  int count = -1;  // -1: until a frame is missing
+  std::string backend = "gpu";
+  char level = 'F';
+  int tiled_group = 0;
+  bool use_float = false;
+  int components = 3;
+  bool validate = false;
+  std::string save_model_path, load_model_path, background_path, demo_dir;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: mogcli --in PATTERN --out PATTERN [--start N] "
+               "[--count N]\n"
+               "              [--backend gpu|serial|simd|parallel] "
+               "[--level A..F] [--tiled G]\n"
+               "              [--float] [--components K] [--validate]\n"
+               "              [--save-model P] [--load-model P] "
+               "[--background P] [--demo DIR]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--in") o.in_pattern = need(i);
+    else if (a == "--out") o.out_pattern = need(i);
+    else if (a == "--start") o.start = std::atoi(need(i));
+    else if (a == "--count") o.count = std::atoi(need(i));
+    else if (a == "--backend") o.backend = need(i);
+    else if (a == "--level") o.level = need(i)[0];
+    else if (a == "--tiled") o.tiled_group = std::atoi(need(i));
+    else if (a == "--float") o.use_float = true;
+    else if (a == "--components") o.components = std::atoi(need(i));
+    else if (a == "--validate") o.validate = true;
+    else if (a == "--save-model") o.save_model_path = need(i);
+    else if (a == "--load-model") o.load_model_path = need(i);
+    else if (a == "--background") o.background_path = need(i);
+    else if (a == "--demo") o.demo_dir = need(i);
+    else usage(("unknown option: " + a).c_str());
+  }
+  if (!o.demo_dir.empty()) {
+    if (o.in_pattern.empty()) o.in_pattern = o.demo_dir + "/frame_%03d.pgm";
+    if (o.out_pattern.empty()) o.out_pattern = o.demo_dir + "/mask_%03d.pgm";
+    if (o.count < 0) o.count = 48;
+  }
+  if (o.in_pattern.empty() || o.out_pattern.empty())
+    usage("--in and --out are required (or use --demo DIR)");
+  return o;
+}
+
+std::string format_path(const std::string& pattern, int index) {
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, pattern.c_str(), index);
+  return buf;
+}
+
+void synthesize_demo(const Options& o) {
+  std::filesystem::create_directories(o.demo_dir);
+  mog::SceneConfig cfg;
+  cfg.width = 512;
+  cfg.height = 288;
+  cfg.num_objects = 3;
+  cfg.texture_fraction = 0.3;
+  const mog::SyntheticScene scene{cfg};
+  for (int t = 0; t < o.count; ++t)
+    mog::write_pgm(format_path(o.in_pattern, o.start + t), scene.frame(t));
+  std::printf("synthesized %d demo frames into %s\n", o.count,
+              o.demo_dir.c_str());
+}
+
+mog::BackgroundSubtractor::Backend backend_from(const std::string& name) {
+  using B = mog::BackgroundSubtractor::Backend;
+  if (name == "gpu") return B::kGpuSim;
+  if (name == "serial") return B::kCpuSerial;
+  if (name == "simd") return B::kCpuSimd;
+  if (name == "parallel") return B::kCpuParallel;
+  usage(("unknown backend: " + name).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    if (!o.demo_dir.empty()) synthesize_demo(o);
+
+    // Peek at the first frame for dimensions.
+    const mog::FrameU8 first = mog::read_pgm(format_path(o.in_pattern,
+                                                         o.start));
+    std::printf("input: %dx%d, backend %s\n", first.width(), first.height(),
+                o.backend.c_str());
+
+    // Model persistence works through the serial engine directly (model
+    // injection/extraction); everything else goes through the facade.
+    const bool needs_serial_engine =
+        !o.load_model_path.empty() || !o.save_model_path.empty();
+    if (needs_serial_engine && o.backend != "serial")
+      throw mog::Error{
+          "--load-model/--save-model currently require --backend serial"};
+
+    mog::BackgroundSubtractor::Config cfg;
+    cfg.width = first.width();
+    cfg.height = first.height();
+    cfg.backend = backend_from(o.backend);
+    cfg.precision = o.use_float ? mog::Precision::kFloat
+                                : mog::Precision::kDouble;
+    cfg.params.num_components = o.components;
+    if (o.level < 'A' || o.level > 'F')
+      throw mog::Error{"--level must be A..F"};
+    cfg.opt_level = static_cast<mog::kernels::OptLevel>(o.level - 'A');
+    if (o.tiled_group > 0) {
+      cfg.tiled = true;
+      cfg.opt_level = mog::kernels::OptLevel::kF;
+      cfg.tiled_config.frame_group = o.tiled_group;
+    }
+
+    std::unique_ptr<mog::SerialMog<double>> serial_engine;
+    std::unique_ptr<mog::BackgroundSubtractor> facade;
+    if (needs_serial_engine) {
+      serial_engine = std::make_unique<mog::SerialMog<double>>(
+          cfg.width, cfg.height, cfg.params);
+      if (!o.load_model_path.empty()) {
+        serial_engine->model() =
+            mog::load_model<double>(o.load_model_path, cfg.params);
+        std::printf("warm-started from %s\n", o.load_model_path.c_str());
+      }
+    } else {
+      facade = std::make_unique<mog::BackgroundSubtractor>(cfg);
+    }
+
+    mog::ValidationConfig vcfg;
+    mog::FrameU8 frame = first, mask;
+    std::vector<int> pending;
+    int processed = 0, written = 0;
+
+    auto emit = [&](int index, const mog::FrameU8& m) {
+      const mog::FrameU8& final_mask =
+          o.validate ? validate_foreground(m, vcfg) : m;
+      mog::write_pgm(format_path(o.out_pattern, index), final_mask);
+      ++written;
+    };
+
+    for (int t = o.start;; ++t) {
+      if (o.count >= 0 && t >= o.start + o.count) break;
+      if (t != o.start) {
+        const std::string path = format_path(o.in_pattern, t);
+        if (o.count < 0 && !std::filesystem::exists(path)) break;
+        frame = mog::read_pgm(path);
+      }
+      ++processed;
+      if (serial_engine) {
+        serial_engine->apply(frame, mask);
+        emit(t, mask);
+      } else {
+        pending.push_back(t);
+        if (facade->apply(frame, mask)) {
+          emit(pending.back(), mask);  // newest mask of the (possibly) group
+          pending.clear();
+        }
+      }
+    }
+    if (facade) {
+      std::vector<mog::FrameU8> rest;
+      if (facade->flush(rest) > 0 && !pending.empty())
+        emit(pending.back(), rest.back());
+    }
+
+    if (!o.background_path.empty()) {
+      const mog::FrameU8 bg = serial_engine
+                                  ? mog::to_u8(serial_engine->background())
+                                  : facade->background();
+      mog::write_pgm(o.background_path, bg);
+      std::printf("background estimate -> %s\n", o.background_path.c_str());
+    }
+    if (!o.save_model_path.empty()) {
+      if (serial_engine) {
+        mog::save_model(o.save_model_path, serial_engine->model());
+      } else {
+        throw mog::Error{"--save-model currently requires --backend serial"};
+      }
+      std::printf("model -> %s\n", o.save_model_path.c_str());
+    }
+
+    std::printf("processed %d frames, wrote %d masks\n", processed, written);
+    if (facade) {
+      const auto profile = facade->profile();
+      if (profile.available)
+        std::printf("simulated GPU: %.2f ms/frame kernel, occupancy %.0f%%\n",
+                    1e3 * profile.kernel_timing.total_seconds,
+                    100.0 * profile.occupancy.achieved);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mogcli: %s\n", e.what());
+    return 1;
+  }
+}

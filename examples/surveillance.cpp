@@ -1,0 +1,145 @@
+// Video-surveillance pipeline: the paper's motivating application. Runs the
+// tiled (windowed) GPU variant over a busy street-like scene, extracts
+// moving-object detections from the foreground masks with a small
+// connected-components pass, and scores them against the scene's ground
+// truth.
+//
+//   $ ./examples/surveillance [frames] [output_dir]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mog/core/background_subtractor.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/video/pnm_io.hpp"
+#include "mog/video/scene.hpp"
+
+namespace {
+
+struct Blob {
+  int min_x, min_y, max_x, max_y;
+  int area;
+};
+
+/// 4-connected components over a binary mask; tiny blobs are noise and get
+/// dropped.
+std::vector<Blob> find_blobs(const mog::FrameU8& mask, int min_area) {
+  const int w = mask.width(), h = mask.height();
+  std::vector<int> label(static_cast<std::size_t>(w) * h, -1);
+  std::vector<Blob> blobs;
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < mask.size(); ++start) {
+    if (mask[start] == 0 || label[start] >= 0) continue;
+    const int id = static_cast<int>(blobs.size());
+    Blob blob{w, h, 0, 0, 0};
+    stack.assign(1, start);
+    label[start] = id;
+    while (!stack.empty()) {
+      const std::size_t p = stack.back();
+      stack.pop_back();
+      const int x = static_cast<int>(p) % w;
+      const int y = static_cast<int>(p) / w;
+      blob.min_x = std::min(blob.min_x, x);
+      blob.max_x = std::max(blob.max_x, x);
+      blob.min_y = std::min(blob.min_y, y);
+      blob.max_y = std::max(blob.max_y, y);
+      ++blob.area;
+      const int dx[] = {1, -1, 0, 0}, dy[] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        const int nx = x + dx[d], ny = y + dy[d];
+        if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+        const std::size_t q = static_cast<std::size_t>(ny) * w + nx;
+        if (mask[q] != 0 && label[q] < 0) {
+          label[q] = id;
+          stack.push_back(q);
+        }
+      }
+    }
+    blobs.push_back(blob);
+  }
+  std::erase_if(blobs, [min_area](const Blob& b) { return b.area < min_area; });
+  return blobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 80;
+  const std::string out_dir = argc > 2 ? argv[2] : ".";
+
+  mog::SceneConfig scene_cfg;
+  scene_cfg.width = 640;
+  scene_cfg.height = 360;
+  scene_cfg.num_objects = 4;
+  scene_cfg.seed = 2026;
+  scene_cfg.texture_fraction = 0.3;  // moderately busy scene
+  const mog::SyntheticScene camera{scene_cfg};
+
+  // Tiled GPU variant (the paper's §IV-D): masks arrive one frame group at
+  // a time, which is the realistic deployment trade-off between throughput
+  // and latency.
+  mog::BackgroundSubtractor::Config cfg;
+  cfg.width = scene_cfg.width;
+  cfg.height = scene_cfg.height;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 8;
+  mog::BackgroundSubtractor bgs{cfg};
+
+  mog::ConfusionCounts totals;
+  mog::FrameU8 frame, mask, truth;
+  std::vector<int> pending;  // frame indices awaiting their group's masks
+  int detections = 0, truth_frames = 0;
+
+  auto consume = [&](int t, const mog::FrameU8& m) {
+    if (t < 32) return;  // let the model warm up before scoring
+    camera.render(t, nullptr, &truth);
+    totals += compare_masks(m, truth);
+    ++truth_frames;
+    const auto blobs = find_blobs(m, /*min_area=*/60);
+    detections += static_cast<int>(blobs.size());
+    if (t == frames - 1) {
+      std::printf("frame %d: %zu detections\n", t, blobs.size());
+      for (const Blob& b : blobs)
+        std::printf("  bbox (%d,%d)-(%d,%d), area %d\n", b.min_x, b.min_y,
+                    b.max_x, b.max_y, b.area);
+      mog::write_pgm(out_dir + "/surveillance_frame.pgm", frame);
+      mog::write_pgm(out_dir + "/surveillance_mask.pgm", m);
+      mog::write_pgm(out_dir + "/surveillance_background.pgm",
+                     bgs.background());
+    }
+  };
+
+  for (int t = 0; t < frames; ++t) {
+    frame = camera.frame(t);
+    pending.push_back(t);
+    if (bgs.apply(frame, mask)) {
+      // A group completed; masks for `pending` frames are ready.
+      const auto& profile = bgs.profile();
+      (void)profile;
+      // The facade returns only the newest mask; re-associate via flush-like
+      // bookkeeping: for this example the newest mask is scored for each
+      // pending frame boundary — use the group-completion frame only.
+      consume(pending.back(), mask);
+      pending.clear();
+    }
+  }
+  std::vector<mog::FrameU8> rest;
+  if (bgs.flush(rest) > 0) consume(frames - 1, rest.back());
+
+  std::printf(
+      "\nsummary over %d scored frames: precision %.2f, recall %.2f, F1 "
+      "%.2f, %d total detections\n",
+      truth_frames, totals.precision(), totals.recall(), totals.f1(),
+      detections);
+  const auto profile = bgs.profile();
+  if (profile.available) {
+    std::printf(
+        "tiled GPU pipeline: %.2f ms/frame kernel (modeled), occupancy "
+        "%.0f%% (shared-memory limited), modeled total %.2f s\n",
+        1e3 * profile.kernel_timing.total_seconds,
+        100.0 * profile.occupancy.achieved, profile.modeled_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Error handling primitives shared by every mog subsystem.
+//
+// Library code throws mog::Error (derived from std::runtime_error) for
+// recoverable misuse; MOG_CHECK is the argument-validation macro used at
+// public API boundaries. Internal invariants use MOG_ASSERT, which is active
+// in all build types (simulation correctness matters more than the nanoseconds
+// saved by disabling it).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mog {
+
+/// Base exception for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::string s{kind};
+  s += ": (";
+  s += cond;
+  s += ") at ";
+  s += file;
+  s += ':';
+  s += std::to_string(line);
+  if (!msg.empty()) {
+    s += " — ";
+    s += msg;
+  }
+  throw Error{s};
+}
+}  // namespace detail
+
+}  // namespace mog
+
+/// Validate a caller-supplied condition; throws mog::Error when violated.
+#define MOG_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::mog::detail::fail("precondition violated", #cond, __FILE__,      \
+                          __LINE__, (msg));                              \
+    }                                                                    \
+  } while (false)
+
+/// Internal invariant; always on.
+#define MOG_ASSERT(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::mog::detail::fail("internal invariant violated", #cond,          \
+                          __FILE__, __LINE__, (msg));                    \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,97 @@
+// Dense 2-D image container used throughout the library.
+//
+// Images are row-major with no padding; Image<std::uint8_t> holds 8-bit
+// grayscale frames (the pixel representation the paper's MoG operates on),
+// Image<double>/Image<float> hold background estimates and metric scratch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mog/common/error.hpp"
+
+namespace mog {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(int width, int height, T fill_value = T{})
+      : width_(width), height_(height) {
+    MOG_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+    data_.assign(static_cast<std::size_t>(width) * height, fill_value);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int x, int y) {
+    MOG_ASSERT(in_bounds(x, y), "pixel out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    MOG_ASSERT(in_bounds(x, y), "pixel out of bounds");
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Unchecked linear access (hot paths; index = y * width + x).
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> pixels() { return data_; }
+  std::span<const T> pixels() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  bool same_shape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using FrameU8 = Image<std::uint8_t>;
+
+/// Convert with saturation to 8-bit (used when rendering float images).
+inline std::uint8_t saturate_u8(double v) {
+  if (v <= 0.0) return 0;
+  if (v >= 255.0) return 255;
+  return static_cast<std::uint8_t>(v + 0.5);
+}
+
+template <typename T>
+FrameU8 to_u8(const Image<T>& src) {
+  FrameU8 out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    out[i] = saturate_u8(static_cast<double>(src[i]));
+  return out;
+}
+
+template <typename T>
+Image<T> to_real(const FrameU8& src) {
+  Image<T> out(src.width(), src.height());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    out[i] = static_cast<T>(src[i]);
+  return out;
+}
+
+}  // namespace mog

@@ -1,0 +1,70 @@
+#include "mog/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mog/common/error.hpp"
+
+namespace mog {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm{seed};
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MOG_CHECK(lo <= hi, "empty interval");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Rng::uniform_u32(std::uint32_t n) {
+  MOG_CHECK(n > 0, "uniform_u32 requires n > 0");
+  // Lemire-style unbiased bounded draw (rejection on the low word).
+  while (true) {
+    const std::uint64_t x = next_u64() & 0xffffffffull;
+    const std::uint64_t m = x * n;
+    if ((m & 0xffffffffull) >= (0x100000000ull % n) || 0x100000000ull % n == 0)
+      return static_cast<std::uint32_t>(m >> 32);
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from 0 so log() stays finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace mog

@@ -1,0 +1,40 @@
+#include "mog/common/strutil.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace mog {
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n <= 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return strprintf("%.1f %s", bytes, units[u]);
+}
+
+std::string percent(double fraction, int decimals) {
+  return strprintf("%.*f%%", decimals, 100.0 * fraction);
+}
+
+}  // namespace mog

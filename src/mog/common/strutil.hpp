@@ -1,0 +1,17 @@
+// Small string/format helpers (GCC 12 lacks <format>, so we wrap snprintf).
+#pragma once
+
+#include <string>
+
+namespace mog {
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count, e.g. "46.1 KB", "1.4 GB".
+std::string human_bytes(double bytes);
+
+/// Fixed-width percentage, e.g. "78.3%".
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace mog

@@ -1,0 +1,148 @@
+#include "mog/core/background_subtractor.hpp"
+
+#include "mog/cpu/parallel_mog.hpp"
+#include "mog/cpu/serial_mog.hpp"
+#include "mog/cpu/simd_mog.hpp"
+#include "mog/pipeline/gpu_pipeline.hpp"
+
+namespace mog {
+
+namespace {
+
+/// Backend-erasing interface; one concrete wrapper per engine type.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual bool apply(const FrameU8& frame, FrameU8& fg) = 0;
+  virtual int flush(std::vector<FrameU8>& out) = 0;
+  virtual FrameU8 background() const = 0;
+  virtual BackgroundSubtractor::Profile profile() const = 0;
+};
+
+template <typename CpuEngine, typename T>
+class CpuWrapper final : public Engine {
+ public:
+  CpuWrapper(const BackgroundSubtractor::Config& cfg)
+      : engine_(make(cfg)) {}
+
+  bool apply(const FrameU8& frame, FrameU8& fg) override {
+    engine_.apply(frame, fg);
+    return true;
+  }
+  int flush(std::vector<FrameU8>&) override { return 0; }
+  FrameU8 background() const override { return to_u8(engine_.background()); }
+  BackgroundSubtractor::Profile profile() const override { return {}; }
+
+ private:
+  static CpuEngine make(const BackgroundSubtractor::Config& cfg) {
+    if constexpr (std::is_same_v<CpuEngine, ParallelMog<T>>) {
+      return CpuEngine{cfg.width, cfg.height, cfg.params, cfg.num_threads};
+    } else {
+      return CpuEngine{cfg.width, cfg.height, cfg.params};
+    }
+  }
+  CpuEngine engine_;
+};
+
+template <typename T>
+class GpuWrapper final : public Engine {
+ public:
+  explicit GpuWrapper(const BackgroundSubtractor::Config& cfg)
+      : pipeline_(make_config(cfg)) {}
+
+  bool apply(const FrameU8& frame, FrameU8& fg) override {
+    return pipeline_.process(frame, fg);
+  }
+  int flush(std::vector<FrameU8>& out) override {
+    return pipeline_.flush(out);
+  }
+  FrameU8 background() const override {
+    return to_u8(pipeline_.model().background_image());
+  }
+  BackgroundSubtractor::Profile profile() const override {
+    BackgroundSubtractor::Profile p;
+    if (pipeline_.frames_processed() == 0) return p;
+    p.available = true;
+    p.per_frame = pipeline_.per_frame_stats();
+    p.occupancy = pipeline_.occupancy();
+    p.kernel_timing = pipeline_.per_frame_kernel_timing();
+    p.modeled_seconds = pipeline_.modeled_seconds();
+    return p;
+  }
+
+ private:
+  static typename GpuMogPipeline<T>::Config make_config(
+      const BackgroundSubtractor::Config& cfg) {
+    typename GpuMogPipeline<T>::Config pc;
+    pc.width = cfg.width;
+    pc.height = cfg.height;
+    pc.params = cfg.params;
+    pc.level = cfg.opt_level;
+    pc.tiled = cfg.tiled;
+    pc.tiled_config = cfg.tiled_config;
+    pc.threads_per_block = cfg.threads_per_block;
+    return pc;
+  }
+  GpuMogPipeline<T> pipeline_;
+};
+
+template <typename T>
+std::unique_ptr<Engine> make_engine(const BackgroundSubtractor::Config& cfg) {
+  switch (cfg.backend) {
+    case BackgroundSubtractor::Backend::kCpuSerial:
+      return std::make_unique<CpuWrapper<SerialMog<T>, T>>(cfg);
+    case BackgroundSubtractor::Backend::kCpuSimd:
+      return std::make_unique<CpuWrapper<SimdMog<T>, T>>(cfg);
+    case BackgroundSubtractor::Backend::kCpuParallel:
+      return std::make_unique<CpuWrapper<ParallelMog<T>, T>>(cfg);
+    case BackgroundSubtractor::Backend::kGpuSim:
+      return std::make_unique<GpuWrapper<T>>(cfg);
+  }
+  throw Error{"unknown backend"};
+}
+
+}  // namespace
+
+struct BackgroundSubtractor::Impl {
+  Config config;
+  std::unique_ptr<Engine> engine;
+};
+
+BackgroundSubtractor::BackgroundSubtractor(const Config& config)
+    : impl_(std::make_unique<Impl>()) {
+  MOG_CHECK(config.width > 0 && config.height > 0,
+            "frame dimensions must be positive");
+  config.params.validate();
+  impl_->config = config;
+  impl_->engine = config.precision == Precision::kDouble
+                      ? make_engine<double>(config)
+                      : make_engine<float>(config);
+}
+
+BackgroundSubtractor::~BackgroundSubtractor() = default;
+BackgroundSubtractor::BackgroundSubtractor(BackgroundSubtractor&&) noexcept =
+    default;
+BackgroundSubtractor& BackgroundSubtractor::operator=(
+    BackgroundSubtractor&&) noexcept = default;
+
+bool BackgroundSubtractor::apply(const FrameU8& frame, FrameU8& fg) {
+  return impl_->engine->apply(frame, fg);
+}
+
+int BackgroundSubtractor::flush(std::vector<FrameU8>& out) {
+  return impl_->engine->flush(out);
+}
+
+FrameU8 BackgroundSubtractor::background() const {
+  return impl_->engine->background();
+}
+
+BackgroundSubtractor::Profile BackgroundSubtractor::profile() const {
+  return impl_->engine->profile();
+}
+
+const BackgroundSubtractor::Config& BackgroundSubtractor::config() const {
+  return impl_->config;
+}
+
+}  // namespace mog

@@ -1,0 +1,96 @@
+// Public API: background subtraction with selectable backend.
+//
+// This is the library's front door. A BackgroundSubtractor consumes 8-bit
+// grayscale frames and produces foreground masks (255 = foreground). The
+// backend selects between the real CPU implementations (serial reference,
+// SIMD-restructured, multi-threaded) and the simulated-GPU pipeline at any
+// of the paper's optimization levels A..F or the tiled/windowed variant.
+//
+// Quickstart:
+//
+//   mog::BackgroundSubtractor::Config cfg;
+//   cfg.width = 640; cfg.height = 360;
+//   mog::BackgroundSubtractor bgs{cfg};            // GPU-sim, level F
+//   mog::FrameU8 mask;
+//   while (camera >> frame) {
+//     if (bgs.apply(frame, mask)) consume(mask);
+//   }
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/cost_model.hpp"
+#include "mog/cpu/mog_params.hpp"
+#include "mog/gpusim/occupancy.hpp"
+#include "mog/gpusim/stats.hpp"
+#include "mog/gpusim/timing_model.hpp"
+#include "mog/kernels/opt_level.hpp"
+#include "mog/kernels/tiled_kernel.hpp"
+
+namespace mog {
+
+class BackgroundSubtractor {
+ public:
+  enum class Backend {
+    kCpuSerial,    ///< single-threaded Algorithm 1 (the reference)
+    kCpuSimd,      ///< SIMD-restructured (no-sort, predicated)
+    kCpuParallel,  ///< multi-threaded row bands
+    kGpuSim,       ///< simulated-GPU kernels (optimization levels A..F)
+  };
+
+  struct Config {
+    int width = 0;
+    int height = 0;
+    MogParams params;
+    Precision precision = Precision::kDouble;
+    Backend backend = Backend::kGpuSim;
+
+    // GPU backend options.
+    kernels::OptLevel opt_level = kernels::OptLevel::kF;
+    bool tiled = false;
+    kernels::TiledConfig tiled_config;
+    int threads_per_block = 128;
+
+    // CPU parallel backend option (0 = hardware concurrency).
+    int num_threads = 0;
+  };
+
+  /// Profiler snapshot; `available` is false for CPU backends.
+  struct Profile {
+    bool available = false;
+    gpusim::KernelStats per_frame;
+    gpusim::Occupancy occupancy;
+    gpusim::KernelTiming kernel_timing;
+    double modeled_seconds = 0;  ///< modeled GPU time for frames so far
+  };
+
+  explicit BackgroundSubtractor(const Config& config);
+  ~BackgroundSubtractor();
+  BackgroundSubtractor(BackgroundSubtractor&&) noexcept;
+  BackgroundSubtractor& operator=(BackgroundSubtractor&&) noexcept;
+  BackgroundSubtractor(const BackgroundSubtractor&) = delete;
+  BackgroundSubtractor& operator=(const BackgroundSubtractor&) = delete;
+
+  /// Process one frame. Returns true when `fg` was written; the tiled GPU
+  /// variant buffers frames and delivers the most recent mask when the frame
+  /// group completes (use flush() to drain a trailing partial group).
+  bool apply(const FrameU8& frame, FrameU8& fg);
+
+  /// Drain buffered tiled frames; appends their masks to `out` and returns
+  /// the count (0 for non-tiled configurations).
+  int flush(std::vector<FrameU8>& out);
+
+  /// Current background estimate (highest-rank component mean per pixel).
+  FrameU8 background() const;
+
+  Profile profile() const;
+  const Config& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mog

@@ -1,0 +1,148 @@
+#include "mog/cpu/adaptive_mog.hpp"
+
+#include <cmath>
+
+namespace mog {
+
+template <typename T>
+AdaptiveMogModel<T>::AdaptiveMogModel(int width, int height,
+                                      const AdaptiveMogParams& params)
+    : width_(width), height_(height), k_max_(params.base.num_components) {
+  params.validate();
+  MOG_CHECK(width > 0 && height > 0, "model dimensions must be positive");
+  const std::size_t n = num_pixels() * static_cast<std::size_t>(k_max_);
+  weight_.assign(n, T{0});
+  mean_.assign(n, T{0});
+  sd_.assign(n, static_cast<T>(params.base.initial_sd));
+  count_.assign(num_pixels(), 1);
+  for (std::size_t p = 0; p < num_pixels(); ++p) {
+    weight_[p] = T{1};
+    mean_[p] = T{128};
+  }
+}
+
+template <typename T>
+double AdaptiveMogModel<T>::mean_active_components() const {
+  std::uint64_t sum = 0;
+  for (const std::int32_t c : count_) sum += static_cast<std::uint64_t>(c);
+  return static_cast<double>(sum) / static_cast<double>(count_.size());
+}
+
+template <typename T>
+bool adaptive_update_pixel(T* w, T* m, T* sd, std::int32_t& count,
+                           std::size_t stride, T x,
+                           const TypedMogParams<T>& p, T prune_weight,
+                           std::uint64_t* active_iterations) {
+  const int k_max = p.k;
+  int n = count;
+  MOG_ASSERT(n >= 1 && n <= k_max, "corrupt active-component count");
+  bool any_match = false;
+
+  // Match / update over the *active* components only.
+  for (int k = 0; k < n; ++k) {
+    const std::size_t i = k * stride;
+    const T diff = std::abs(m[i] - x);
+    if (diff < p.gamma1 * sd[i]) {
+      detail::update_matched(w[i], m[i], sd[i], x, p);
+      any_match = true;
+    } else {
+      w[i] = p.alpha * w[i];
+    }
+  }
+  if (active_iterations != nullptr)
+    *active_iterations += static_cast<std::uint64_t>(n);
+
+  if (!any_match) {
+    // Grow if a slot is free, otherwise replace the lowest-weight one.
+    int slot;
+    if (n < k_max) {
+      slot = n++;
+    } else {
+      slot = 0;
+      for (int k = 1; k < n; ++k)
+        if (w[k * stride] < w[slot * stride]) slot = k;
+    }
+    const std::size_t i = slot * stride;
+    w[i] = p.w_init;
+    m[i] = x;
+    sd[i] = p.sd_init;
+  }
+
+  // Normalize over active components.
+  T wsum = T{0};
+  for (int k = 0; k < n; ++k) wsum += w[k * stride];
+  const T inv = T{1} / wsum;
+  for (int k = 0; k < n; ++k) w[k * stride] *= inv;
+
+  // Prune negligible components (swap-with-last keeps slots packed).
+  for (int k = n - 1; k >= 0 && n > 1; --k) {
+    if (w[k * stride] >= prune_weight) continue;
+    const int last = n - 1;
+    if (k != last) {
+      std::swap(w[k * stride], w[last * stride]);
+      std::swap(m[k * stride], m[last * stride]);
+      std::swap(sd[k * stride], sd[last * stride]);
+    }
+    --n;
+  }
+
+  // Decision over active components (pre-update diff is not retained in
+  // this algorithm family; recompute against the current mean).
+  bool background = false;
+  for (int k = 0; k < n; ++k) {
+    const std::size_t i = k * stride;
+    background |= (w[i] >= p.gamma2 &&
+                   std::abs(x - m[i]) < p.gamma1d * sd[i]);
+  }
+
+  count = n;
+  return !background;
+}
+
+template <typename T>
+AdaptiveMog<T>::AdaptiveMog(int width, int height,
+                            const AdaptiveMogParams& params)
+    : params_(params),
+      tp_(TypedMogParams<T>::from(params.base)),
+      model_(width, height, params) {}
+
+template <typename T>
+void AdaptiveMog<T>::apply(const FrameU8& frame, FrameU8& fg) {
+  MOG_CHECK(frame.width() == model_.width() &&
+                frame.height() == model_.height(),
+            "frame dimensions do not match the model");
+  if (!fg.same_shape(frame)) fg = FrameU8(frame.width(), frame.height());
+
+  const std::size_t n = model_.num_pixels();
+  T* w = model_.weights().data();
+  T* m = model_.means().data();
+  T* sd = model_.sds().data();
+  std::int32_t* counts = model_.counts().data();
+  const T prune = static_cast<T>(params_.prune_weight);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const T x = static_cast<T>(frame[p]);
+    fg[p] = adaptive_update_pixel(w + p, m + p, sd + p, counts[p], n, x, tp_,
+                                  prune, &active_iterations_)
+                ? 255
+                : 0;
+  }
+  ++frames_;
+}
+
+template class AdaptiveMog<float>;
+template class AdaptiveMog<double>;
+template class AdaptiveMogModel<float>;
+template class AdaptiveMogModel<double>;
+
+template bool adaptive_update_pixel<float>(float*, float*, float*,
+                                           std::int32_t&, std::size_t, float,
+                                           const TypedMogParams<float>&,
+                                           float, std::uint64_t*);
+template bool adaptive_update_pixel<double>(double*, double*, double*,
+                                            std::int32_t&, std::size_t,
+                                            double,
+                                            const TypedMogParams<double>&,
+                                            double, std::uint64_t*);
+
+}  // namespace mog

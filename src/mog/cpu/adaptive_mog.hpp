@@ -1,0 +1,104 @@
+// Variable-component-count MoG — the related-work approach of the paper's
+// §II ([18] Azmat et al. / [19] multimodal mean): each pixel maintains only
+// as many Gaussian components as its history needs (1..max), growing on
+// unmatched samples and pruning negligible-weight components.
+//
+// On a CPU this saves real work (most pixels are unimodal). The paper
+// argues it is a poor fit for GPUs: lockstep warps execute to the
+// *maximum* component count across their 32 lanes. This implementation is
+// the CPU half of that comparison; kernels/adaptive_kernel.hpp is the GPU
+// half, and bench_related_work quantifies the §II claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_params.hpp"
+#include "mog/cpu/mog_update.hpp"
+
+namespace mog {
+
+struct AdaptiveMogParams {
+  MogParams base;               ///< num_components acts as the per-pixel max
+  double prune_weight = 0.015;  ///< drop components below this (post-norm)
+
+  void validate() const {
+    base.validate();
+    MOG_CHECK(prune_weight >= 0.0 && prune_weight < base.weight_threshold,
+              "prune_weight must be in [0, weight_threshold)");
+  }
+};
+
+/// Per-pixel state: K_max component slots + an active count.
+template <typename T>
+class AdaptiveMogModel {
+ public:
+  AdaptiveMogModel() = default;
+  AdaptiveMogModel(int width, int height, const AdaptiveMogParams& params);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int max_components() const { return k_max_; }
+  std::size_t num_pixels() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  std::size_t idx(std::size_t pixel, int k) const {
+    return static_cast<std::size_t>(k) * num_pixels() + pixel;
+  }
+
+  std::vector<T>& weights() { return weight_; }
+  std::vector<T>& means() { return mean_; }
+  std::vector<T>& sds() { return sd_; }
+  std::vector<std::int32_t>& counts() { return count_; }
+  const std::vector<std::int32_t>& counts() const { return count_; }
+  const std::vector<T>& weights() const { return weight_; }
+  const std::vector<T>& means() const { return mean_; }
+  const std::vector<T>& sds() const { return sd_; }
+
+  /// Mean active components across all pixels — the CPU-side saving.
+  double mean_active_components() const;
+
+ private:
+  int width_ = 0, height_ = 0, k_max_ = 0;
+  std::vector<T> weight_, mean_, sd_;
+  std::vector<std::int32_t> count_;
+};
+
+/// One pixel of the adaptive algorithm (exposed for the GPU kernel to share
+/// and for direct unit testing). Arrays are strided like MogModel (SoA).
+/// Returns foreground; `active_iterations` accumulates the number of
+/// component-loop iterations actually needed (the CPU cost proxy).
+template <typename T>
+bool adaptive_update_pixel(T* w, T* m, T* sd, std::int32_t& count,
+                           std::size_t stride, T x,
+                           const TypedMogParams<T>& p, T prune_weight,
+                           std::uint64_t* active_iterations = nullptr);
+
+template <typename T>
+class AdaptiveMog {
+ public:
+  AdaptiveMog(int width, int height, const AdaptiveMogParams& params = {});
+
+  void apply(const FrameU8& frame, FrameU8& fg);
+
+  const AdaptiveMogModel<T>& model() const { return model_; }
+  /// Component-loop iterations executed so far (CPU work proxy).
+  std::uint64_t active_iterations() const { return active_iterations_; }
+  std::uint64_t frames_processed() const { return frames_; }
+
+ private:
+  AdaptiveMogParams params_;
+  TypedMogParams<T> tp_;
+  AdaptiveMogModel<T> model_;
+  std::uint64_t active_iterations_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+extern template class AdaptiveMog<float>;
+extern template class AdaptiveMog<double>;
+extern template class AdaptiveMogModel<float>;
+extern template class AdaptiveMogModel<double>;
+
+}  // namespace mog

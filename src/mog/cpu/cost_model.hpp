@@ -1,0 +1,59 @@
+// CPU timing model anchored at the paper's measured wall-clock numbers.
+//
+// The paper's speedups are ratios of GPU time to single-threaded CPU time on
+// an Intel Xeon E5-2620. That machine is not available here, so the CPU side
+// of every speedup is produced by this model, anchored exactly at the
+// paper's measurements (§IV-A and §V):
+//
+//   serial, double, K=3:  227.3 s / 450 full-HD frames
+//   serial, double, K=5:  406.6 s                      (linear in K, §V-B)
+//   serial, float,  K=3:  180.0 s                      (§V-C, ~21% faster)
+//   SIMD-customized:      163.0 s                      (0.28x improvement)
+//   8-thread OpenMP:       99.8 s                      (2.28x)
+//
+// Everything else (resolution, frame count) scales linearly — MoG is a
+// strictly per-pixel streaming algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "mog/common/error.hpp"
+
+namespace mog {
+
+enum class Precision { kFloat, kDouble };
+
+enum class CpuVariant {
+  kSerial,    ///< single-threaded, Algorithm 1 (the reference point)
+  kSimd,      ///< SIMD-customized restructure
+  kParallel,  ///< multi-threaded (the paper used 8 OpenMP threads)
+};
+
+/// Intel Xeon E5-2620 — the paper's Table I CPU column.
+struct CpuSpec {
+  const char* name = "Intel Xeon E5-2620";
+  int cores = 6;
+  double frequency_ghz = 2.5;
+  double sp_gflops = 120.3;
+  double mem_bw_gbps = 12.8;  // DDR3
+  int l2_kb = 256;
+  int l3_kb = 15 * 1024;
+};
+
+class CpuCostModel {
+ public:
+  /// Modeled wall-clock seconds for processing `frames` frames of
+  /// width x height with K Gaussian components. `threads` only matters for
+  /// kParallel (the paper's data point is 8 threads).
+  double seconds(CpuVariant variant, Precision precision, int width,
+                 int height, int frames, int num_components,
+                 int threads = 8) const;
+
+  /// The paper's reference point: serial double K=3 over 450 full-HD frames.
+  static constexpr double kReferenceSeconds = 227.3;
+  static constexpr int kReferenceFrames = 450;
+  static constexpr int kReferenceWidth = 1920;
+  static constexpr int kReferenceHeight = 1080;
+};
+
+}  // namespace mog

@@ -1,0 +1,97 @@
+#include "mog/cpu/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'O', 'G', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t dtype;
+  std::int32_t width;
+  std::int32_t height;
+  std::int32_t components;
+};
+
+template <typename T>
+void write_array(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_array(std::ifstream& in, std::vector<T>& v,
+                const std::string& path) {
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in) throw Error{"truncated model file: " + path};
+}
+
+}  // namespace
+
+template <typename T>
+void save_model(const std::string& path, const MogModel<T>& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error{"cannot open for writing: " + path};
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kVersion;
+  h.dtype = sizeof(T);
+  h.width = model.width();
+  h.height = model.height();
+  h.components = model.num_components();
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  write_array(out, model.weights());
+  write_array(out, model.means());
+  write_array(out, model.sds());
+  if (!out) throw Error{"write failed: " + path};
+}
+
+template <typename T>
+MogModel<T> load_model(const std::string& path, const MogParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error{"cannot open for reading: " + path};
+
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in || std::memcmp(h.magic, kMagic, 4) != 0)
+    throw Error{"not a MOGM model file: " + path};
+  if (h.version != kVersion)
+    throw Error{strprintf("unsupported model version %u in %s", h.version,
+                          path.c_str())};
+  if (h.dtype != sizeof(T))
+    throw Error{strprintf(
+        "scalar-type mismatch in %s: file has %u-byte scalars, caller "
+        "expects %zu",
+        path.c_str(), h.dtype, sizeof(T))};
+  if (h.width <= 0 || h.height <= 0 || h.components <= 0 ||
+      h.components > 8)
+    throw Error{"corrupt model header: " + path};
+  MOG_CHECK(h.components == params.num_components,
+            "params.num_components does not match the stored model");
+
+  MogModel<T> model(h.width, h.height, params);
+  read_array(in, model.weights(), path);
+  read_array(in, model.means(), path);
+  read_array(in, model.sds(), path);
+  return model;
+}
+
+template void save_model<float>(const std::string&, const MogModel<float>&);
+template void save_model<double>(const std::string&, const MogModel<double>&);
+template MogModel<float> load_model<float>(const std::string&,
+                                           const MogParams&);
+template MogModel<double> load_model<double>(const std::string&,
+                                             const MogParams&);
+
+}  // namespace mog

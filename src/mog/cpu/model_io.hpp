@@ -1,0 +1,34 @@
+// Binary persistence for Gaussian-mixture models.
+//
+// Long-running deployments warm a background model over minutes of video;
+// saving it lets a pipeline restart without re-learning (and lets tests pin
+// exact model states). Format: little-endian, self-describing header:
+//
+//   magic "MOGM" | u32 version | u32 dtype (4=float, 8=double)
+//   | i32 width | i32 height | i32 components
+//   | weights[] | means[] | sds[]          (each K*W*H scalars, SoA order)
+#pragma once
+
+#include <string>
+
+#include "mog/cpu/mog_model.hpp"
+
+namespace mog {
+
+template <typename T>
+void save_model(const std::string& path, const MogModel<T>& model);
+
+/// Throws mog::Error on malformed files or scalar-type mismatch.
+template <typename T>
+MogModel<T> load_model(const std::string& path, const MogParams& params);
+
+extern template void save_model<float>(const std::string&,
+                                       const MogModel<float>&);
+extern template void save_model<double>(const std::string&,
+                                        const MogModel<double>&);
+extern template MogModel<float> load_model<float>(const std::string&,
+                                                  const MogParams&);
+extern template MogModel<double> load_model<double>(const std::string&,
+                                                    const MogParams&);
+
+}  // namespace mog

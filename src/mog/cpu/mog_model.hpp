@@ -1,0 +1,104 @@
+// Per-pixel Gaussian mixture state.
+//
+// The model is stored SoA (one array per parameter) because that is what the
+// coalesced GPU variants need; the AoS view used by the paper's base variant
+// is produced on demand by the GPU pipeline. CPU implementations index the
+// SoA arrays directly.
+//
+// Layout: param[k * num_pixels + pixel] — all pixels' component k are
+// contiguous, exactly the coalesced layout of the paper's Fig. 4(b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mog/common/error.hpp"
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_params.hpp"
+
+namespace mog {
+
+template <typename T>
+class MogModel {
+ public:
+  MogModel() = default;
+
+  MogModel(int width, int height, const MogParams& params)
+      : width_(width), height_(height), k_(params.num_components) {
+    params.validate();
+    MOG_CHECK(width > 0 && height > 0, "model dimensions must be positive");
+    const std::size_t n = num_pixels() * static_cast<std::size_t>(k_);
+    weight_.assign(n, T{0});
+    mean_.assign(n, T{0});
+    sd_.assign(n, static_cast<T>(params.initial_sd));
+    // Component 0 starts with full weight at mid-gray; the others are dormant
+    // (zero weight) and get recruited as virtual components.
+    for (std::size_t p = 0; p < num_pixels(); ++p) {
+      weight_[p] = T{1};
+      mean_[p] = T{128};
+    }
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int num_components() const { return k_; }
+  std::size_t num_pixels() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  /// Linear index of component k of pixel p in the SoA arrays.
+  std::size_t idx(std::size_t pixel, int k) const {
+    return static_cast<std::size_t>(k) * num_pixels() + pixel;
+  }
+
+  T& weight(std::size_t pixel, int k) { return weight_[idx(pixel, k)]; }
+  T& mean(std::size_t pixel, int k) { return mean_[idx(pixel, k)]; }
+  T& sd(std::size_t pixel, int k) { return sd_[idx(pixel, k)]; }
+  T weight(std::size_t pixel, int k) const { return weight_[idx(pixel, k)]; }
+  T mean(std::size_t pixel, int k) const { return mean_[idx(pixel, k)]; }
+  T sd(std::size_t pixel, int k) const { return sd_[idx(pixel, k)]; }
+
+  std::vector<T>& weights() { return weight_; }
+  std::vector<T>& means() { return mean_; }
+  std::vector<T>& sds() { return sd_; }
+  const std::vector<T>& weights() const { return weight_; }
+  const std::vector<T>& means() const { return mean_; }
+  const std::vector<T>& sds() const { return sd_; }
+
+  /// Background estimate: mean of the highest-rank (w/σ) component per pixel.
+  Image<T> background_image() const {
+    Image<T> bg(width_, height_);
+    for (std::size_t p = 0; p < num_pixels(); ++p) {
+      int best = 0;
+      T best_rank = rank(p, 0);
+      for (int k = 1; k < k_; ++k) {
+        const T r = rank(p, k);
+        if (r > best_rank) {
+          best_rank = r;
+          best = k;
+        }
+      }
+      bg[p] = mean(p, best);
+    }
+    return bg;
+  }
+
+  T rank(std::size_t pixel, int k) const {
+    const T s = sd(pixel, k);
+    return s > T{0} ? weight(pixel, k) / s : T{0};
+  }
+
+  /// Total model footprint in bytes (the quantity the paper's bandwidth
+  /// discussion is about: 284 MB/frame of parameter traffic at K=3, double).
+  std::size_t bytes() const {
+    return 3 * weight_.size() * sizeof(T);
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int k_ = 0;
+  std::vector<T> weight_, mean_, sd_;
+};
+
+}  // namespace mog

@@ -1,0 +1,54 @@
+// Mixture-of-Gaussians algorithm parameters.
+//
+// The update rule follows the paper's Algorithm 1 / Algorithm 4 excerpt
+// (Zhang et al., ICPP 2014, which in turn follows Cheung & Kamath 2005 and
+// Stauffer & Grimson 1999):
+//
+//   matched:      w  = alpha * w + (1 - alpha)
+//                 tmp = (1 - alpha) / w
+//                 m  = m + tmp * (x - m)
+//                 sd² = sd² + tmp * ((x - m_old)² - sd²)
+//   non-matched:  w  = alpha * w
+//
+// i.e. `alpha` is the *retention* factor (close to 1). A component matches
+// when |x - m| < match_sigma * sd (the paper's Γ1, expressed in σ units,
+// consistent with the foreground test diff/sd < Γ1). A pixel is background
+// when a component with weight ≥ weight_threshold (the paper's Γ2) matches.
+#pragma once
+
+#include "mog/common/error.hpp"
+
+namespace mog {
+
+struct MogParams {
+  int num_components = 3;         ///< K: Gaussian components per pixel (3..5).
+  double alpha = 0.99;            ///< weight retention factor.
+  /// Γ1 for the match test (σ units). Following the reference
+  /// implementation the paper builds on (Cheung & Kamath), the match gate
+  /// is wider than the foreground-decision gate: a component can absorb a
+  /// sample that is still declared foreground.
+  double match_sigma = 3.0;
+  double decision_sigma = 2.5;    ///< Γ1 for the background decision (σ).
+  double weight_threshold = 0.20; ///< Γ2: background weight threshold.
+  double initial_weight = 0.05;   ///< weight of a freshly created component.
+  double initial_sd = 15.0;       ///< σ of a freshly created component.
+  double min_sd = 4.0;            ///< σ floor (prevents degenerate matches).
+
+  void validate() const {
+    MOG_CHECK(num_components >= 1 && num_components <= 8,
+              "num_components must be in [1, 8]");
+    MOG_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    MOG_CHECK(match_sigma > 0.0, "match_sigma must be positive");
+    MOG_CHECK(decision_sigma > 0.0 && decision_sigma <= match_sigma,
+              "decision_sigma must be in (0, match_sigma]");
+    MOG_CHECK(weight_threshold > 0.0 && weight_threshold < 1.0,
+              "weight_threshold must be in (0, 1)");
+    MOG_CHECK(initial_weight > 0.0 && initial_weight <= 1.0,
+              "initial_weight must be in (0, 1]");
+    MOG_CHECK(initial_sd > 0.0, "initial_sd must be positive");
+    MOG_CHECK(min_sd > 0.0 && min_sd <= initial_sd,
+              "min_sd must be in (0, initial_sd]");
+  }
+};
+
+}  // namespace mog

@@ -1,0 +1,203 @@
+// The per-pixel MoG step, shared by the CPU implementations.
+//
+// Two flavours mirror the paper:
+//  * update_pixel_sorted   — Algorithm 1: match/update, virtual component,
+//                            rank + sort, early-exit foreground scan.
+//  * update_pixel_nosort   — Algorithms 2/3/5: predicated update and an
+//                            unconditional scan of all components (the
+//                            GPU-friendly rewrite; used by the SIMD variant).
+//
+// Both produce the same foreground decision up to floating-point ordering,
+// which is exactly the property the paper's Table IV quantifies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "mog/cpu/mog_params.hpp"
+
+namespace mog {
+
+/// MogParams narrowed to the working scalar type, with derived constants
+/// precomputed once per sequence instead of once per pixel.
+template <typename T>
+struct TypedMogParams {
+  int k;
+  T alpha;            // retention factor
+  T one_minus_alpha;
+  T gamma1;           // match threshold in σ units
+  T gamma1d;          // background-decision threshold in σ units (≤ gamma1)
+  T gamma2;           // background weight threshold
+  T w_init, sd_init, min_sd;
+
+  static TypedMogParams from(const MogParams& p) {
+    p.validate();
+    return TypedMogParams{p.num_components,
+                          static_cast<T>(p.alpha),
+                          static_cast<T>(1.0 - p.alpha),
+                          static_cast<T>(p.match_sigma),
+                          static_cast<T>(p.decision_sigma),
+                          static_cast<T>(p.weight_threshold),
+                          static_cast<T>(p.initial_weight),
+                          static_cast<T>(p.initial_sd),
+                          static_cast<T>(p.min_sd)};
+  }
+};
+
+namespace detail {
+
+/// Matched-component parameter update (paper's Algorithm 4 lines 3-6).
+/// Mean and sd are updated in place. The variance is floored at min_sd²
+/// *before* the square root so the same formulation is usable in the
+/// predicated flavour (where a blended-away lane must still stay finite).
+template <typename T>
+inline void update_matched(T& w, T& m, T& sd, T x,
+                           const TypedMogParams<T>& p) {
+  w = p.alpha * w + p.one_minus_alpha;
+  const T tmp = p.one_minus_alpha / w;
+  const T delta = x - m;
+  m = m + tmp * delta;
+  T var = sd * sd;
+  var = var + tmp * (delta * delta - var);
+  const T min_var = p.min_sd * p.min_sd;
+  if (var < min_var) var = min_var;
+  sd = std::sqrt(var);
+}
+
+}  // namespace detail
+
+/// One pixel, Algorithm 1 (sorted) flavour. `w`, `m`, `sd` point at the
+/// pixel's K components (stride `stride` between components, supporting both
+/// SoA and AoS storage). Returns true if the pixel is foreground.
+template <typename T>
+inline bool update_pixel_sorted(T* w, T* m, T* sd, std::size_t stride,
+                                T x, const TypedMogParams<T>& p) {
+  const int K = p.k;
+  MOG_ASSERT(K <= 8, "component count exceeds kMaxComponents");
+  bool any_match = false;
+  // Pre-update diffs, kept and permuted through the sort exactly as the
+  // paper's Algorithm 1 does (diff computed at line 4, reused at line 24).
+  T diff[8];
+
+  // Match classification and per-component update (Algorithm 1, lines 3-11).
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    diff[k] = std::abs(m[i] - x);
+    if (diff[k] < p.gamma1 * sd[i]) {
+      detail::update_matched(w[i], m[i], sd[i], x, p);
+      any_match = true;
+    } else {
+      w[i] = p.alpha * w[i];
+    }
+  }
+
+  // Virtual component replaces the lowest-weight one (lines 12-15).
+  if (!any_match) {
+    int lowest = 0;
+    for (int k = 1; k < K; ++k)
+      if (w[k * stride] < w[lowest * stride]) lowest = k;
+    const std::size_t i = lowest * stride;
+    w[i] = p.w_init;
+    m[i] = x;
+    sd[i] = p.sd_init;
+  }
+
+  // Normalize weights so the Γ2 threshold stays meaningful. (For the common
+  // single-match case the update rule already preserves Σw = 1; this guards
+  // multi-match overlap and virtual-component creation.)
+  T wsum = T{0};
+  for (int k = 0; k < K; ++k) wsum += w[k * stride];
+  const T inv = T{1} / wsum;
+  for (int k = 0; k < K; ++k) w[k * stride] *= inv;
+
+  // Rank and sort by w/σ descending (lines 16-21). Insertion sort on the
+  // parameter triples (diff travels with its component); K ≤ 8 so this is
+  // cheap on a CPU.
+  for (int k = 1; k < K; ++k) {
+    int j = k;
+    while (j > 0 && w[j * stride] / sd[j * stride] >
+                        w[(j - 1) * stride] / sd[(j - 1) * stride]) {
+      std::swap(w[j * stride], w[(j - 1) * stride]);
+      std::swap(m[j * stride], m[(j - 1) * stride]);
+      std::swap(sd[j * stride], sd[(j - 1) * stride]);
+      std::swap(diff[j], diff[j - 1]);
+      --j;
+    }
+  }
+
+  // Foreground decision: scan from highest rank, stop at first background
+  // match (lines 22-28; pre-update diff against updated w and sd).
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    if (w[i] >= p.gamma2 && diff[k] < p.gamma1d * sd[i])
+      return false;  // background
+  }
+  return true;  // foreground
+}
+
+/// One pixel, no-sort + predicated flavour (Algorithms 3 and 5). Branch-free
+/// in the component loop so compilers can vectorize across pixels; identical
+/// decisions to the sorted flavour up to floating-point ordering.
+template <typename T>
+inline bool update_pixel_nosort(T* w, T* m, T* sd, std::size_t stride,
+                                T x, const TypedMogParams<T>& p) {
+  const int K = p.k;
+  MOG_ASSERT(K <= 8, "component count exceeds kMaxComponents");
+  T any_match = T{0};
+  T diffs[8];
+
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    const T diff = std::abs(m[i] - x);
+    diffs[k] = diff;
+    const T match = diff < p.gamma1 * sd[i] ? T{1} : T{0};
+    any_match = any_match + match - any_match * match;  // logical OR
+
+    // Predicated update (Algorithm 5): blend matched/non-matched results.
+    // The speculative (blended-away) path must stay finite: 0 * NaN = NaN
+    // would otherwise leak through the blend, so the divisor is floored (a
+    // matched component always has w_new >= 1-alpha, far above the floor,
+    // hence matched results are bit-identical to the branchy path) and the
+    // variance is floored before sqrt (same flooring as update_matched).
+    const T w_new = p.alpha * w[i] + match * p.one_minus_alpha;
+    const T w_safe = w_new > T{1e-12} ? w_new : T{1e-12};
+    const T tmp = p.one_minus_alpha / w_safe;
+    const T delta = x - m[i];
+    const T m_new = m[i] + tmp * delta;
+    T var = sd[i] * sd[i];
+    var = var + tmp * (delta * delta - var);
+    const T min_var = p.min_sd * p.min_sd;
+    if (var < min_var) var = min_var;
+    const T sd_new = std::sqrt(var);
+
+    w[i] = w_new;
+    m[i] = (T{1} - match) * m[i] + match * m_new;
+    sd[i] = (T{1} - match) * sd[i] + match * sd_new;
+  }
+
+  if (any_match == T{0}) {
+    int lowest = 0;
+    for (int k = 1; k < K; ++k)
+      if (w[k * stride] < w[lowest * stride]) lowest = k;
+    const std::size_t i = lowest * stride;
+    w[i] = p.w_init;
+    m[i] = x;
+    sd[i] = p.sd_init;
+  }
+
+  T wsum = T{0};
+  for (int k = 0; k < K; ++k) wsum += w[k * stride];
+  const T inv = T{1} / wsum;
+  for (int k = 0; k < K; ++k) w[k * stride] *= inv;
+
+  // Unconditional check of all components (Algorithm 3) — order irrelevant;
+  // pre-update diff against updated w and sd, like the sorted flavour.
+  bool background = false;
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    background |= (w[i] >= p.gamma2 && diffs[k] < p.gamma1d * sd[i]);
+  }
+  return !background;
+}
+
+}  // namespace mog

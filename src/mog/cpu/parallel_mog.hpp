@@ -1,0 +1,59 @@
+// Multi-threaded CPU MoG — the paper's 8-thread OpenMP baseline (§IV-A,
+// 99.8 s vs 227.3 s serial, i.e. 2.28x). Pixels are independent, so the
+// frame is split into contiguous pixel bands, one band per worker thread.
+// Implemented with a persistent std::thread pool (equivalent to an OpenMP
+// static schedule) to avoid per-frame thread creation cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_model.hpp"
+#include "mog/cpu/mog_params.hpp"
+#include "mog/cpu/mog_update.hpp"
+
+namespace mog {
+
+template <typename T>
+class ParallelMog {
+ public:
+  ParallelMog(int width, int height, const MogParams& params = {},
+              int num_threads = 0);  // 0 = hardware_concurrency
+  ~ParallelMog();
+
+  ParallelMog(const ParallelMog&) = delete;
+  ParallelMog& operator=(const ParallelMog&) = delete;
+
+  void apply(const FrameU8& frame, FrameU8& fg);
+
+  const MogModel<T>& model() const { return model_; }
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+  Image<T> background() const { return model_.background_image(); }
+
+ private:
+  void worker_loop(int band);
+  void process_band(int band, const FrameU8& frame, FrameU8& fg);
+
+  MogParams params_;
+  TypedMogParams<T> tp_;
+  MogModel<T> model_;
+
+  // Simple generation-counted barrier pool.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutting_down_ = false;
+  const FrameU8* cur_frame_ = nullptr;
+  FrameU8* cur_fg_ = nullptr;
+};
+
+extern template class ParallelMog<float>;
+extern template class ParallelMog<double>;
+
+}  // namespace mog

@@ -1,0 +1,35 @@
+#include "mog/cpu/serial_mog.hpp"
+
+namespace mog {
+
+template <typename T>
+SerialMog<T>::SerialMog(int width, int height, const MogParams& params)
+    : params_(params),
+      tp_(TypedMogParams<T>::from(params)),
+      model_(width, height, params) {}
+
+template <typename T>
+void SerialMog<T>::apply(const FrameU8& frame, FrameU8& fg) {
+  MOG_CHECK(frame.width() == model_.width() &&
+                frame.height() == model_.height(),
+            "frame dimensions do not match the model");
+  if (!fg.same_shape(frame)) fg = FrameU8(frame.width(), frame.height());
+
+  const std::size_t n = model_.num_pixels();
+  T* w = model_.weights().data();
+  T* m = model_.means().data();
+  T* sd = model_.sds().data();
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const T x = static_cast<T>(frame[p]);
+    const bool foreground =
+        update_pixel_sorted(w + p, m + p, sd + p, n, x, tp_);
+    fg[p] = foreground ? 255 : 0;
+  }
+  ++frames_;
+}
+
+template class SerialMog<float>;
+template class SerialMog<double>;
+
+}  // namespace mog

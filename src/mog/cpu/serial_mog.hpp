@@ -1,0 +1,44 @@
+// Single-threaded reference MoG — the paper's ground-truth implementation
+// (§IV-A: "the single core CPU implementation (-O3 optimization) as the
+// reference point"). Faithful to Algorithm 1: per-component match/update,
+// virtual component, rank + sort, early-exit foreground scan.
+#pragma once
+
+#include <cstdint>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_model.hpp"
+#include "mog/cpu/mog_params.hpp"
+#include "mog/cpu/mog_update.hpp"
+
+namespace mog {
+
+template <typename T>
+class SerialMog {
+ public:
+  SerialMog(int width, int height, const MogParams& params = {});
+
+  /// Process one frame: update the model and write the foreground mask
+  /// (255 = foreground, 0 = background). `fg` is resized as needed.
+  void apply(const FrameU8& frame, FrameU8& fg);
+
+  const MogModel<T>& model() const { return model_; }
+  MogModel<T>& model() { return model_; }
+  const MogParams& params() const { return params_; }
+
+  /// Background estimate (highest-rank component mean per pixel).
+  Image<T> background() const { return model_.background_image(); }
+
+  std::uint64_t frames_processed() const { return frames_; }
+
+ private:
+  MogParams params_;
+  TypedMogParams<T> tp_;
+  MogModel<T> model_;
+  std::uint64_t frames_ = 0;
+};
+
+extern template class SerialMog<float>;
+extern template class SerialMog<double>;
+
+}  // namespace mog

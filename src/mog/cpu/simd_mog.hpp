@@ -1,0 +1,39 @@
+// SIMD-restructured CPU MoG — the paper's "customizing the code for SIMD
+// operations" baseline (§IV-A, measured at 1.39x over plain serial).
+//
+// The restructure is the no-sort/predicated rewrite over SoA storage: the
+// per-component loop is branch-free so the compiler can vectorize across
+// adjacent pixels. The paper observes only a small SIMD benefit because of
+// MoG's conditional structure; the same structure is what limits
+// autovectorization here.
+#pragma once
+
+#include <cstdint>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_model.hpp"
+#include "mog/cpu/mog_params.hpp"
+#include "mog/cpu/mog_update.hpp"
+
+namespace mog {
+
+template <typename T>
+class SimdMog {
+ public:
+  SimdMog(int width, int height, const MogParams& params = {});
+
+  void apply(const FrameU8& frame, FrameU8& fg);
+
+  const MogModel<T>& model() const { return model_; }
+  Image<T> background() const { return model_.background_image(); }
+
+ private:
+  MogParams params_;
+  TypedMogParams<T> tp_;
+  MogModel<T> model_;
+};
+
+extern template class SimdMog<float>;
+extern template class SimdMog<double>;
+
+}  // namespace mog

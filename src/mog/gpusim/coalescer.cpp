@@ -1,0 +1,145 @@
+#include "mog/gpusim/coalescer.hpp"
+
+#include <algorithm>
+
+#include "mog/common/error.hpp"
+#include "mog/gpusim/timing_constants.hpp"
+
+namespace mog::gpusim {
+
+SegmentCache::SegmentCache(int capacity) : capacity_(capacity) {
+  MOG_CHECK(capacity >= 1 && capacity <= 16,
+            "segment cache capacity must be in [1, 16]");
+  clear();
+}
+
+void SegmentCache::clear() {
+  size_ = 0;
+  std::fill(std::begin(lines_), std::end(lines_), ~0ull);
+}
+
+bool SegmentCache::access(std::uint64_t segment_id) {
+  // MRU-first linear scan; on hit, move to front.
+  for (int i = 0; i < size_; ++i) {
+    if (lines_[i] == segment_id) {
+      for (int j = i; j > 0; --j) lines_[j] = lines_[j - 1];
+      lines_[0] = segment_id;
+      return true;
+    }
+  }
+  // Miss: shift and insert at front, evicting the LRU tail.
+  if (size_ < capacity_) ++size_;
+  for (int j = size_ - 1; j > 0; --j) lines_[j] = lines_[j - 1];
+  lines_[0] = segment_id;
+  return false;
+}
+
+Coalescer::Coalescer(const DeviceSpec& spec, int effective_l1_segments)
+    : load_segment_bytes_(spec.load_segment_bytes),
+      store_segment_bytes_(spec.store_segment_bytes),
+      page_bytes_(spec.dram_page_bytes),
+      l1_(effective_l1_segments) {}
+
+void Coalescer::begin_warp() {
+  l1_.clear();
+  // Open DRAM rows deliberately persist: row locality spans warps.
+}
+
+bool Coalescer::page_open(std::uint64_t page) {
+  for (int i = 0; i < open_count_; ++i) {
+    if (open_rows_[i] == page) {
+      for (int j = i; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
+      open_rows_[0] = page;
+      return true;
+    }
+  }
+  if (open_count_ < kOpenRows) ++open_count_;
+  for (int j = open_count_ - 1; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
+  open_rows_[0] = page;
+  return false;
+}
+
+void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
+                       unsigned bytes_per_lane, KernelStats& stats) {
+  if (addrs.empty()) return;
+  const bool is_load = kind == Kind::kLoad;
+  const unsigned seg_bytes = static_cast<unsigned>(
+      is_load ? load_segment_bytes_ : store_segment_bytes_);
+
+  // Collect the distinct segments the active lanes touch, with per-segment
+  // byte coverage. An element may straddle a segment boundary (unaligned
+  // AoS doubles), so both endpoints are folded in. 32 lanes × ≤2 segments
+  // keeps this a small local array.
+  std::uint64_t segs[2 * kWarpSize];
+  unsigned covered[2 * kWarpSize];
+  int n = 0;
+  for (const std::uint64_t a : addrs) {
+    const std::uint64_t first = a / seg_bytes;
+    const std::uint64_t last = (a + bytes_per_lane - 1) / seg_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      const std::uint64_t lo = std::max(a, s * seg_bytes);
+      const std::uint64_t hi = std::min(a + bytes_per_lane,
+                                        (s + 1) * seg_bytes);
+      int j = 0;
+      while (j < n && segs[j] != s) ++j;
+      if (j == n) {
+        segs[n] = s;
+        covered[n] = 0;
+        ++n;
+      }
+      covered[j] += static_cast<unsigned>(hi - lo);
+    }
+  }
+
+  const std::uint64_t requested =
+      static_cast<std::uint64_t>(addrs.size()) * bytes_per_lane;
+  std::uint64_t transactions = 0;
+  std::uint64_t rmw_reads = 0;
+
+  for (int i = 0; i < n; ++i) {
+    if (is_load && l1_.access(segs[i])) continue;  // L1 hit: no traffic
+    ++transactions;
+    // ECC read-modify-write: the C2075 runs with ECC on, so a store that
+    // covers only part of a segment forces the memory system to read the
+    // segment, merge, and write it back — the hidden cost of masked,
+    // scattered stores that the predicated variants avoid.
+    if (!is_load && covered[i] < seg_bytes) ++rmw_reads;
+    const std::uint64_t page = segs[i] * seg_bytes / page_bytes_;
+    if (!page_open(page)) ++stats.dram_page_switches;
+  }
+
+  // Instruction replay: the LSU re-issues the instruction once per 128-byte
+  // L1 line beyond the first, regardless of access kind (store segments are
+  // 32 B for traffic purposes, but replay granularity is the line).
+  {
+    std::uint64_t lines[2 * kWarpSize];
+    int m = 0;
+    for (const std::uint64_t a : addrs) {
+      lines[m++] = a / 128;
+      const std::uint64_t last = (a + bytes_per_lane - 1) / 128;
+      if (last != lines[m - 1]) lines[m++] = last;
+    }
+    std::sort(lines, lines + m);
+    m = static_cast<int>(std::unique(lines, lines + m) - lines);
+    if (m > 1) {
+      stats.issue_cycles +=
+          static_cast<std::uint64_t>(m - 1) * kCyclesLsuReplay;
+    }
+  }
+
+  if (is_load) {
+    ++stats.load_instructions;
+    stats.load_transactions += transactions;
+    stats.bytes_requested_load += requested;
+    stats.bytes_transferred_load += transactions * seg_bytes;
+  } else {
+    ++stats.store_instructions;
+    stats.store_transactions += transactions;
+    stats.rmw_transactions += rmw_reads;
+    stats.bytes_requested_store += requested;
+    stats.bytes_transferred_store +=
+        (transactions + rmw_reads) * seg_bytes;
+  }
+}
+
+}  // namespace mog::gpusim

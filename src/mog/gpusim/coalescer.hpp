@@ -1,0 +1,74 @@
+// Global-memory coalescing model (Fermi-style).
+//
+// Per warp memory instruction, the active lanes' byte addresses are folded
+// into memory segments:
+//   * loads  — 128 B segments (L1 cache-line granularity). A small LRU
+//     segment cache stands in for the per-warp slice of the 16 KB L1: with
+//     ~48 resident warps contending for 128 lines, each warp effectively
+//     keeps only a handful of lines alive between its own instructions —
+//     exactly the eviction behaviour the paper describes for the AoS layout
+//     ("the cache line holding the data will be evicted while all threads in
+//     a group read their m").
+//   * stores — 32 B segments, no caching (Fermi L1 is write-evict).
+//
+// The analyzer also tracks DRAM row locality: each transaction landing on a
+// different 4 KB page than its predecessor counts a page switch, which the
+// timing model charges a small activation penalty. Streaming access patterns
+// pay almost nothing; the tiled kernel's frame-group gathers pay per frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mog/gpusim/device_spec.hpp"
+#include "mog/gpusim/stats.hpp"
+
+namespace mog::gpusim {
+
+class SegmentCache {
+ public:
+  explicit SegmentCache(int capacity);
+
+  /// Returns true on hit; inserts (LRU) on miss.
+  bool access(std::uint64_t segment_id);
+  void clear();
+  int capacity() const { return capacity_; }
+
+ private:
+  int capacity_;
+  // Tiny capacity (≤ 16): a plain array beats any map.
+  std::uint64_t lines_[16];
+  int size_ = 0;
+};
+
+class Coalescer {
+ public:
+  Coalescer(const DeviceSpec& spec, int effective_l1_segments);
+
+  enum class Kind { kLoad, kStore };
+
+  /// Record one warp-level memory instruction. `addrs` are the active
+  /// lanes' element byte addresses; `bytes_per_lane` the access width.
+  void access(Kind kind, std::span<const std::uint64_t> addrs,
+              unsigned bytes_per_lane, KernelStats& stats);
+
+  /// Reset per-warp state (segment cache) at warp start.
+  void begin_warp();
+
+ private:
+  bool page_open(std::uint64_t page);
+
+  int load_segment_bytes_;
+  int store_segment_bytes_;
+  int page_bytes_;
+  SegmentCache l1_;
+  // Open-row model: GDDR5 keeps one row open per bank across many banks and
+  // channels; 32 concurrently-open rows means streaming patterns (a handful
+  // of array streams) pay almost nothing while wide gathers across many
+  // regions (e.g. large tiled frame groups) pay activations.
+  static constexpr int kOpenRows = 32;
+  std::uint64_t open_rows_[kOpenRows];
+  int open_count_ = 0;
+};
+
+}  // namespace mog::gpusim

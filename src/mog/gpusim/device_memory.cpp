@@ -1,0 +1,28 @@
+#include "mog/gpusim/device_memory.hpp"
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::gpusim {
+
+DeviceMemory::DeviceMemory(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+void* DeviceMemory::raw_alloc(std::size_t bytes) {
+  MOG_CHECK(bytes > 0, "zero-byte device allocation");
+  buffers_.push_back(std::make_unique<std::byte[]>(bytes));
+  return buffers_.back().get();
+}
+
+std::uint64_t DeviceMemory::assign_addr(std::size_t bytes) {
+  const std::uint64_t addr = next_addr_;
+  const std::size_t padded = (bytes + kAlign - 1) / kAlign * kAlign;
+  if (bytes_allocated() + padded > capacity_) {
+    throw Error{strprintf(
+        "simulated device out of memory: %zu in use, %zu requested, %zu total",
+        bytes_allocated(), padded, capacity_)};
+  }
+  next_addr_ += padded;
+  return addr;
+}
+
+}  // namespace mog::gpusim

@@ -1,0 +1,83 @@
+// Simulated GPU global memory.
+//
+// Allocations carry *virtual device addresses* from a bump allocator — the
+// coalescing analyzer reasons about those addresses (segment and DRAM-page
+// boundaries), while functional reads and writes go straight to host-side
+// backing storage. Buffers are backed independently, so a 6 GB device can be
+// modeled without reserving 6 GB of host RAM.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mog/common/error.hpp"
+
+namespace mog::gpusim {
+
+/// Typed view of a device allocation: host pointer for functional access +
+/// device virtual address for the memory-system model.
+template <typename T>
+struct DevSpan {
+  T* data = nullptr;
+  std::uint64_t dev_addr = 0;  ///< virtual device byte address of element 0
+  std::size_t count = 0;
+
+  bool valid() const { return data != nullptr; }
+
+  DevSpan subspan(std::size_t offset, std::size_t n) const {
+    MOG_CHECK(offset + n <= count, "subspan out of range");
+    return DevSpan{data + offset, dev_addr + offset * sizeof(T), n};
+  }
+  std::uint64_t addr_of(std::size_t i) const {
+    return dev_addr + i * sizeof(T);
+  }
+};
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::size_t capacity_bytes = 6ull << 30);
+
+  /// Allocate `count` elements of T, 256-byte aligned (cudaMalloc-like).
+  template <typename T>
+  DevSpan<T> alloc(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    void* host = raw_alloc(bytes);
+    const std::uint64_t addr = assign_addr(bytes);
+    return DevSpan<T>{static_cast<T*>(host), addr, count};
+  }
+
+  std::size_t bytes_allocated() const { return next_addr_ - kBaseAddr; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void* raw_alloc(std::size_t bytes);
+  std::uint64_t assign_addr(std::size_t bytes);
+
+  static constexpr std::uint64_t kBaseAddr = 0x0010'0000;  // nonzero base
+  static constexpr std::size_t kAlign = 256;
+
+  std::size_t capacity_;
+  std::uint64_t next_addr_ = kBaseAddr;
+  std::vector<std::unique_ptr<std::byte[]>> buffers_;
+};
+
+/// Host <-> device copy helpers. Functionally a memcpy; they return the byte
+/// count so callers can feed the transfer model.
+template <typename T>
+std::size_t copy_to_device(DevSpan<T> dst, const T* src, std::size_t count) {
+  MOG_CHECK(count <= dst.count, "copy_to_device overflows destination");
+  std::copy(src, src + count, dst.data);
+  return count * sizeof(T);
+}
+
+template <typename T>
+std::size_t copy_from_device(T* dst, DevSpan<T> src, std::size_t count) {
+  MOG_CHECK(count <= src.count, "copy_from_device overflows source");
+  std::copy(src.data, src.data + count, dst);
+  return count * sizeof(T);
+}
+
+}  // namespace mog::gpusim

@@ -1,0 +1,30 @@
+#include "mog/gpusim/kernel_launch.hpp"
+
+namespace mog::gpusim {
+
+BlockCtx::BlockCtx(std::int64_t block_id, int threads_in_block,
+                   int threads_per_block, KernelStats& stats,
+                   Coalescer& coalescer,
+                   std::vector<std::byte>& shared_arena)
+    : block_id_(block_id),
+      threads_in_block_(threads_in_block),
+      threads_per_block_(threads_per_block),
+      stats_(stats),
+      coalescer_(coalescer),
+      shared_arena_(shared_arena) {}
+
+Device::Device(DeviceSpec spec)
+    : spec_(std::move(spec)),
+      memory_(),
+      shared_arena_(static_cast<std::size_t>(spec_.shared_mem_per_sm)) {}
+
+void Device::validate(const LaunchConfig& config) const {
+  MOG_CHECK(config.num_threads >= 1, "launch needs at least one thread");
+  MOG_CHECK(config.threads_per_block >= kWarpSize &&
+                config.threads_per_block <= spec_.max_threads_per_block,
+            "threads_per_block out of device range");
+  MOG_CHECK(config.threads_per_block % kWarpSize == 0,
+            "threads_per_block must be a multiple of the warp size");
+}
+
+}  // namespace mog::gpusim

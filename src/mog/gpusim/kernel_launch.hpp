@@ -1,0 +1,147 @@
+// Kernel launch framework: grid/block decomposition, per-warp execution,
+// shared-memory arena, and counter aggregation.
+//
+// A kernel is a callable `void(BlockCtx&)`. Inside, `blk.parallel(fn)` runs
+// `fn(WarpCtx&)` once per warp of the block; consecutive parallel() sections
+// are separated by an implicit __syncthreads() (the simulator executes warps
+// of a section sequentially, so any cross-warp shared-memory communication
+// must straddle a section boundary — the same discipline real CUDA code
+// needs around barriers).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mog/gpusim/coalescer.hpp"
+#include "mog/gpusim/device_memory.hpp"
+#include "mog/gpusim/device_spec.hpp"
+#include "mog/gpusim/stats.hpp"
+#include "mog/gpusim/warp.hpp"
+
+namespace mog::gpusim {
+
+struct LaunchConfig {
+  std::int64_t num_threads = 0;  ///< grid size in threads (≥ 1)
+  int threads_per_block = 128;
+};
+
+class BlockCtx {
+ public:
+  BlockCtx(std::int64_t block_id, int threads_in_block, int threads_per_block,
+           KernelStats& stats, Coalescer& coalescer,
+           std::vector<std::byte>& shared_arena);
+
+  std::int64_t block_id() const { return block_id_; }
+  int threads_per_block() const { return threads_per_block_; }
+  int threads_in_block() const { return threads_in_block_; }
+  int num_warps() const {
+    return (threads_in_block_ + kWarpSize - 1) / kWarpSize;
+  }
+
+  /// Allocate a block-scope shared array (8-byte aligned). Counts toward the
+  /// block's shared-memory footprint for the occupancy calculation. The
+  /// arena is pre-sized to the SM's physical capacity so earlier SharedSpan
+  /// pointers never dangle; over-allocation is a kernel bug and throws.
+  template <typename T>
+  SharedSpan<T> shared_alloc(std::size_t count) {
+    const std::size_t offset = (shared_used_ + 7) / 8 * 8;
+    const std::size_t bytes = count * sizeof(T);
+    MOG_CHECK(offset + bytes <= shared_arena_.size(),
+              "kernel exceeds per-SM shared memory capacity");
+    shared_used_ = offset + bytes;
+    if (shared_used_ > stats_.shared_bytes_per_block)
+      stats_.shared_bytes_per_block = shared_used_;
+    return SharedSpan<T>{reinterpret_cast<T*>(shared_arena_.data() + offset),
+                         static_cast<std::uint32_t>(offset), count};
+  }
+
+  /// Run `fn(WarpCtx&)` for every warp of the block. Implicit barrier
+  /// between consecutive parallel() calls.
+  template <typename Fn>
+  void parallel(Fn&& fn) {
+    const int warps = num_warps();
+    for (int w = 0; w < warps; ++w) {
+      const int lanes = std::min<int>(kWarpSize,
+                                      threads_in_block_ - w * kWarpSize);
+      RegTracker regs;
+      ExecEnv env{&stats_, &regs, &coalescer_, 0xffffffffu};
+      coalescer_.begin_warp();
+      exec_env() = &env;
+      {
+        WarpCtx warp{env, block_id_ * threads_per_block_ +
+                              static_cast<std::int64_t>(w) * kWarpSize,
+                     lanes};
+        fn(warp);
+      }
+      exec_env() = nullptr;
+      ++stats_.num_warps;
+      if (regs.peak_words > peak_reg_words_) peak_reg_words_ = regs.peak_words;
+    }
+  }
+
+  int peak_reg_words() const { return peak_reg_words_; }
+
+ private:
+  std::int64_t block_id_;
+  int threads_in_block_;
+  int threads_per_block_;
+  KernelStats& stats_;
+  Coalescer& coalescer_;
+  std::vector<std::byte>& shared_arena_;
+  std::size_t shared_used_ = 0;
+  int peak_reg_words_ = 0;
+};
+
+/// The simulated device: spec + global memory + launch entry point.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = {});
+
+  const DeviceSpec& spec() const { return spec_; }
+  DeviceMemory& memory() { return memory_; }
+
+  /// Execute a kernel over the whole grid, returning its profiler counters.
+  /// Functional side effects land in device memory synchronously.
+  template <typename KernelFn>
+  KernelStats launch(const LaunchConfig& config, KernelFn&& kernel) {
+    validate(config);
+    KernelStats stats;
+    stats.threads_per_block = config.threads_per_block;
+
+    Coalescer coalescer{spec_, kEffectiveL1SegmentsPerWarp};
+    const std::int64_t blocks =
+        (config.num_threads + config.threads_per_block - 1) /
+        config.threads_per_block;
+    stats.num_blocks = static_cast<std::uint64_t>(blocks);
+
+    int peak_reg_words = 0;
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      const int threads_in_block = static_cast<int>(
+          std::min<std::int64_t>(config.threads_per_block,
+                                 config.num_threads -
+                                     b * config.threads_per_block));
+      BlockCtx blk{b, threads_in_block, config.threads_per_block, stats,
+                   coalescer, shared_arena_};
+      kernel(blk);
+      if (blk.peak_reg_words() > peak_reg_words)
+        peak_reg_words = blk.peak_reg_words();
+    }
+
+    stats.regs_per_thread = std::min(
+        static_cast<int>(peak_reg_words * kRegisterPressureScale + 0.5) +
+            kAbiRegisterWords,
+        spec_.max_registers_per_thread);
+    return stats;
+  }
+
+ private:
+  void validate(const LaunchConfig& config) const;
+
+  DeviceSpec spec_;
+  DeviceMemory memory_;
+  std::vector<std::byte> shared_arena_;
+};
+
+}  // namespace mog::gpusim

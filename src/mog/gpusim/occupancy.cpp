@@ -1,0 +1,79 @@
+#include "mog/gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mog/common/error.hpp"
+#include "mog/gpusim/timing_constants.hpp"
+
+namespace mog::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& spec, int regs_per_thread,
+                            int threads_per_block,
+                            std::uint64_t shared_bytes_per_block) {
+  MOG_CHECK(regs_per_thread >= 1, "regs_per_thread must be positive");
+  MOG_CHECK(threads_per_block >= 1 &&
+                threads_per_block <= spec.max_threads_per_block,
+            "threads_per_block out of range");
+
+  const int warps_per_block = (threads_per_block + kWarpSize - 1) / kWarpSize;
+
+  // Warp-count limit.
+  const int limit_warps = spec.max_warps_per_sm / warps_per_block;
+
+  // Register limit: per-warp allocation, rounded up to the allocation unit.
+  const int regs_per_warp_raw = regs_per_thread * kWarpSize;
+  const int regs_per_warp =
+      (regs_per_warp_raw + spec.register_alloc_unit - 1) /
+      spec.register_alloc_unit * spec.register_alloc_unit;
+  const int warps_by_regs = spec.registers_per_sm / regs_per_warp;
+  const int limit_regs = warps_by_regs / warps_per_block;
+
+  // Shared-memory limit (0 bytes = unlimited).
+  int limit_shared = std::numeric_limits<int>::max();
+  if (shared_bytes_per_block > 0) {
+    const std::uint64_t rounded =
+        (shared_bytes_per_block + spec.shared_alloc_unit - 1) /
+        spec.shared_alloc_unit * spec.shared_alloc_unit;
+    limit_shared = static_cast<int>(
+        static_cast<std::uint64_t>(spec.shared_mem_per_sm) / rounded);
+  }
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({limit_warps, spec.max_blocks_per_sm,
+                                limit_regs, limit_shared});
+  if (occ.blocks_per_sm <= 0) occ.blocks_per_sm = 0;
+
+  // Record the binding constraint; ties prefer the structural limits
+  // (warps, then the block-scheduler cap) over resource limits.
+  if (occ.blocks_per_sm == limit_warps)
+    occ.limiter = Occupancy::Limiter::kWarps;
+  else if (occ.blocks_per_sm == spec.max_blocks_per_sm)
+    occ.limiter = Occupancy::Limiter::kBlocks;
+  else if (occ.blocks_per_sm == limit_shared)
+    occ.limiter = Occupancy::Limiter::kSharedMem;
+  else
+    occ.limiter = Occupancy::Limiter::kRegisters;
+
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.theoretical = static_cast<double>(occ.warps_per_sm) /
+                    static_cast<double>(spec.max_warps_per_sm);
+  occ.achieved = occ.theoretical * kAchievedOccupancyFactor;
+  return occ;
+}
+
+const char* to_string(Occupancy::Limiter limiter) {
+  switch (limiter) {
+    case Occupancy::Limiter::kWarps:
+      return "warps";
+    case Occupancy::Limiter::kBlocks:
+      return "blocks";
+    case Occupancy::Limiter::kRegisters:
+      return "registers";
+    case Occupancy::Limiter::kSharedMem:
+      return "shared-memory";
+  }
+  return "?";
+}
+
+}  // namespace mog::gpusim

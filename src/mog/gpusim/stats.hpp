@@ -1,0 +1,131 @@
+// Profiler counters collected during simulated kernel execution.
+//
+// Metric definitions deliberately match the Nvidia Visual Profiler metrics
+// the paper reports:
+//   memory access efficiency = bytes requested / bytes transferred
+//   branch efficiency        = non-divergent branches / executed branches
+//   SM occupancy             = resident threads per SM / max threads per SM
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mog::gpusim {
+
+struct KernelStats {
+  // --- global memory -----------------------------------------------------
+  std::uint64_t load_instructions = 0;    ///< warp-level load instructions
+  std::uint64_t store_instructions = 0;
+  std::uint64_t load_transactions = 0;    ///< 128 B segments fetched
+  std::uint64_t store_transactions = 0;   ///< 32 B segments written
+  std::uint64_t rmw_transactions = 0;     ///< ECC read-modify-write reads
+  std::uint64_t bytes_requested_load = 0;
+  std::uint64_t bytes_requested_store = 0;
+  std::uint64_t bytes_transferred_load = 0;
+  std::uint64_t bytes_transferred_store = 0;
+  std::uint64_t dram_page_switches = 0;   ///< row-locality events
+
+  // --- branches -----------------------------------------------------------
+  std::uint64_t branches_executed = 0;
+  std::uint64_t branches_divergent = 0;
+
+  // --- compute ------------------------------------------------------------
+  std::uint64_t issue_cycles = 0;         ///< warp-instruction issue cycles
+  std::uint64_t warp_instructions = 0;
+
+  // --- shared memory ------------------------------------------------------
+  std::uint64_t shared_accesses = 0;      ///< warp-level shared ld/st
+  std::uint64_t shared_cycles = 0;        ///< incl. bank-conflict replays
+  std::uint64_t shared_bytes_per_block = 0;
+
+  // --- launch shape / resources -------------------------------------------
+  int regs_per_thread = 0;                ///< peak across warps (+ABI)
+  int threads_per_block = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_warps = 0;
+
+  // --- derived -------------------------------------------------------------
+  std::uint64_t total_transactions() const {
+    return load_transactions + store_transactions + rmw_transactions;
+  }
+  std::uint64_t bytes_transferred() const {
+    return bytes_transferred_load + bytes_transferred_store;
+  }
+  std::uint64_t bytes_requested() const {
+    return bytes_requested_load + bytes_requested_store;
+  }
+  double memory_access_efficiency() const {
+    const auto t = bytes_transferred();
+    if (t == 0) return 1.0;
+    // L1 hits can push requested bytes past transferred bytes; the profiler
+    // metric saturates at 100%.
+    return std::min(1.0, static_cast<double>(bytes_requested()) /
+                             static_cast<double>(t));
+  }
+  double branch_efficiency() const {
+    return branches_executed == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(branches_divergent) /
+                           static_cast<double>(branches_executed);
+  }
+
+  /// Accumulate another launch's counters (launch shape fields must match;
+  /// regs take the max so a warm-up launch cannot under-report).
+  KernelStats& operator+=(const KernelStats& other) {
+    load_instructions += other.load_instructions;
+    store_instructions += other.store_instructions;
+    load_transactions += other.load_transactions;
+    store_transactions += other.store_transactions;
+    rmw_transactions += other.rmw_transactions;
+    bytes_requested_load += other.bytes_requested_load;
+    bytes_requested_store += other.bytes_requested_store;
+    bytes_transferred_load += other.bytes_transferred_load;
+    bytes_transferred_store += other.bytes_transferred_store;
+    dram_page_switches += other.dram_page_switches;
+    branches_executed += other.branches_executed;
+    branches_divergent += other.branches_divergent;
+    issue_cycles += other.issue_cycles;
+    warp_instructions += other.warp_instructions;
+    shared_accesses += other.shared_accesses;
+    shared_cycles += other.shared_cycles;
+    shared_bytes_per_block =
+        other.shared_bytes_per_block > shared_bytes_per_block
+            ? other.shared_bytes_per_block
+            : shared_bytes_per_block;
+    regs_per_thread = other.regs_per_thread > regs_per_thread
+                          ? other.regs_per_thread
+                          : regs_per_thread;
+    threads_per_block = other.threads_per_block;
+    num_blocks += other.num_blocks;
+    num_warps += other.num_warps;
+    return *this;
+  }
+
+  /// Per-launch average after accumulating n launches (resource fields are
+  /// already per-launch and pass through unchanged).
+  KernelStats averaged_over(std::uint64_t n) const {
+    KernelStats s = *this;
+    if (n <= 1) return s;
+    s.load_instructions /= n;
+    s.store_instructions /= n;
+    s.load_transactions /= n;
+    s.store_transactions /= n;
+    s.rmw_transactions /= n;
+    s.bytes_requested_load /= n;
+    s.bytes_requested_store /= n;
+    s.bytes_transferred_load /= n;
+    s.bytes_transferred_store /= n;
+    s.dram_page_switches /= n;
+    s.branches_executed /= n;
+    s.branches_divergent /= n;
+    s.issue_cycles /= n;
+    s.warp_instructions /= n;
+    s.shared_accesses /= n;
+    s.shared_cycles /= n;
+    s.num_blocks /= n;
+    s.num_warps /= n;
+    return s;
+  }
+};
+
+}  // namespace mog::gpusim

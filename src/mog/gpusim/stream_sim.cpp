@@ -1,0 +1,105 @@
+#include "mog/gpusim/stream_sim.hpp"
+
+#include <algorithm>
+
+#include "mog/common/error.hpp"
+
+namespace mog::gpusim {
+
+namespace {
+
+void push(Timeline& tl, TimelineOp::Engine engine, int frame,
+          const char* kind, double start, double duration) {
+  tl.ops.push_back(TimelineOp{engine, frame, kind, start, start + duration});
+  tl.total_seconds = std::max(tl.total_seconds, start + duration);
+}
+
+}  // namespace
+
+Timeline simulate_sequential(const FrameSchedule& frame, int frames) {
+  MOG_CHECK(frames >= 0, "negative frame count");
+  Timeline tl;
+  double t = 0;
+  for (int i = 0; i < frames; ++i) {
+    push(tl, TimelineOp::Engine::kDma, i, "up", t, frame.upload_seconds);
+    t += frame.upload_seconds;
+    push(tl, TimelineOp::Engine::kKernel, i, "kernel", t,
+         frame.kernel_seconds);
+    t += frame.kernel_seconds;
+    push(tl, TimelineOp::Engine::kDma, i, "down", t, frame.download_seconds);
+    t += frame.download_seconds;
+  }
+  return tl;
+}
+
+Timeline simulate_overlapped(const FrameSchedule& frame, int frames) {
+  MOG_CHECK(frames >= 0, "negative frame count");
+  Timeline tl;
+  if (frames == 0) return tl;
+
+  // Enqueue order follows the standard double-buffered host loop:
+  //   up(0); for i: { launch kernel(i); enqueue up(i+1); enqueue down(i); }
+  // so the next frame's upload sits ahead of the current download in the
+  // copy engine's FIFO, and neither suffers head-of-line blocking behind an
+  // op whose dependency is further out.
+  double dma_free = 0, kernel_free = 0;
+  std::vector<double> upload_end(static_cast<std::size_t>(frames), 0);
+  std::vector<double> kernel_end(static_cast<std::size_t>(frames), 0);
+
+  auto schedule_upload = [&](int i) {
+    // Needs the DMA engine and its input buffer (two rotate: kernel i-2
+    // must have released it).
+    double ready = dma_free;
+    if (i >= 2)
+      ready = std::max(ready, kernel_end[static_cast<std::size_t>(i - 2)]);
+    push(tl, TimelineOp::Engine::kDma, i, "up", ready, frame.upload_seconds);
+    upload_end[static_cast<std::size_t>(i)] = ready + frame.upload_seconds;
+    dma_free = upload_end[static_cast<std::size_t>(i)];
+  };
+
+  schedule_upload(0);
+  for (int i = 0; i < frames; ++i) {
+    const double kstart =
+        std::max(upload_end[static_cast<std::size_t>(i)], kernel_free);
+    push(tl, TimelineOp::Engine::kKernel, i, "kernel", kstart,
+         frame.kernel_seconds);
+    kernel_end[static_cast<std::size_t>(i)] = kstart + frame.kernel_seconds;
+    kernel_free = kernel_end[static_cast<std::size_t>(i)];
+
+    if (i + 1 < frames) schedule_upload(i + 1);
+
+    const double dstart =
+        std::max(kernel_end[static_cast<std::size_t>(i)], dma_free);
+    push(tl, TimelineOp::Engine::kDma, i, "down", dstart,
+         frame.download_seconds);
+    dma_free = dstart + frame.download_seconds;
+  }
+  return tl;
+}
+
+std::string Timeline::ascii(int columns) const {
+  MOG_CHECK(columns >= 16, "timeline needs at least 16 columns");
+  if (ops.empty() || total_seconds <= 0) return "(empty timeline)\n";
+  const double scale = static_cast<double>(columns) / total_seconds;
+
+  std::string dma(static_cast<std::size_t>(columns), '.');
+  std::string ker(static_cast<std::size_t>(columns), '.');
+  for (const TimelineOp& op : ops) {
+    std::string& row = op.engine == TimelineOp::Engine::kDma ? dma : ker;
+    int lo = static_cast<int>(op.start_seconds * scale);
+    int hi = static_cast<int>(op.end_seconds * scale);
+    lo = std::clamp(lo, 0, columns - 1);
+    hi = std::clamp(hi, lo + 1, columns);
+    char glyph = 'K';
+    if (op.kind[0] == 'u') glyph = 'U';
+    if (op.kind[0] == 'd') glyph = 'D';
+    for (int c = lo; c < hi; ++c)
+      row[static_cast<std::size_t>(c)] = glyph;
+  }
+  std::string out;
+  out += "DMA |" + dma + "|\n";
+  out += "KER |" + ker + "|\n";
+  return out;
+}
+
+}  // namespace mog::gpusim

@@ -1,0 +1,47 @@
+#include "mog/gpusim/timing_model.hpp"
+
+#include <algorithm>
+
+#include "mog/gpusim/timing_constants.hpp"
+
+namespace mog::gpusim {
+
+KernelTiming kernel_time(const KernelStats& stats, const Occupancy& occ,
+                         const DeviceSpec& spec) {
+  KernelTiming t;
+  const double clock = spec.clock_hz();
+  const double sms = static_cast<double>(spec.num_sms);
+
+  const double issue_utilization =
+      occ.achieved / (occ.achieved + kIssueSatOccupancy);
+  t.compute_seconds = static_cast<double>(stats.issue_cycles) / sms /
+                      (kSustainedIssueEfficiency * issue_utilization) / clock;
+  t.shared_seconds = static_cast<double>(stats.shared_cycles) / sms / clock;
+
+  t.bandwidth_floor_seconds =
+      static_cast<double>(stats.bytes_transferred()) /
+          (spec.dram_bandwidth_gbps * kMemSystemUtilization * 1e9) +
+      static_cast<double>(stats.dram_page_switches) * kPageSwitchCycles /
+          clock;
+
+  const double resident_warps =
+      std::max(1.0, occ.achieved * spec.max_warps_per_sm);
+  t.latency_seconds = static_cast<double>(stats.total_transactions()) *
+                      kDramLatencyCycles /
+                      (sms * resident_warps * kMemParallelismPerWarp) / clock;
+
+  const double hide = occ.achieved / (occ.achieved + kHideHalfOccupancy);
+  t.exposed_latency_seconds = t.latency_seconds * (1.0 - hide);
+
+  t.launch_overhead_seconds = kKernelLaunchSeconds;
+
+  const double sm_bound =
+      t.compute_seconds + t.shared_seconds + t.exposed_latency_seconds;
+  t.bound_by =
+      sm_bound >= t.bandwidth_floor_seconds ? "compute" : "bandwidth";
+  t.total_seconds = std::max(sm_bound, t.bandwidth_floor_seconds) +
+                    t.launch_overhead_seconds;
+  return t;
+}
+
+}  // namespace mog::gpusim

@@ -1,0 +1,44 @@
+// Analytical kernel timing from simulated event counts.
+//
+// Per kernel launch:
+//
+//   compute  = issue_cycles / SMs / sustained_issue_efficiency
+//   shared   = shared_cycles / SMs
+//   bw_floor = L1-level bytes transferred / memory-system bandwidth
+//              + page_switches * activation_penalty          (device-wide)
+//   latency  = transactions * dram_latency
+//              / (SMs * resident_warps * mem_parallelism)    (Little's law)
+//   exposed  = latency * (1 - occ / (occ + kHideHalfOccupancy))
+//
+//   total    = max(compute + shared + exposed, bw_floor) + launch_overhead
+//
+// Rationale: compute and the *un-hidden* part of memory latency serialize
+// inside an SM; bandwidth is a device-wide throughput floor no amount of
+// multithreading can beat. Occupancy enters twice (resident warps for
+// Little's law; the saturating hide() factor), which is what makes the
+// paper's register/occupancy optimizations pay off in modeled seconds.
+#pragma once
+
+#include "mog/gpusim/device_spec.hpp"
+#include "mog/gpusim/occupancy.hpp"
+#include "mog/gpusim/stats.hpp"
+
+namespace mog::gpusim {
+
+struct KernelTiming {
+  double compute_seconds = 0;
+  double shared_seconds = 0;
+  double bandwidth_floor_seconds = 0;
+  double latency_seconds = 0;          ///< raw latency-bound term
+  double exposed_latency_seconds = 0;  ///< after occupancy hiding
+  double launch_overhead_seconds = 0;
+  double total_seconds = 0;
+
+  /// Which term bound the kernel ("compute", "bandwidth").
+  const char* bound_by = "compute";
+};
+
+KernelTiming kernel_time(const KernelStats& stats, const Occupancy& occ,
+                         const DeviceSpec& spec);
+
+}  // namespace mog::gpusim

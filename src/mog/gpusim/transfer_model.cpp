@@ -1,0 +1,29 @@
+#include "mog/gpusim/transfer_model.hpp"
+
+#include <algorithm>
+
+namespace mog::gpusim {
+
+double transfer_seconds(const DeviceSpec& spec, std::uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return spec.dma_setup_seconds +
+         static_cast<double>(bytes) / (spec.pcie_effective_gbps * 1e9);
+}
+
+double sequential_pipeline_seconds(const FrameSchedule& f,
+                                   std::uint64_t frames) {
+  return static_cast<double>(frames) *
+         (f.upload_seconds + f.kernel_seconds + f.download_seconds);
+}
+
+double overlapped_pipeline_seconds(const FrameSchedule& f,
+                                   std::uint64_t frames) {
+  if (frames == 0) return 0.0;
+  const double steady =
+      std::max(f.kernel_seconds, f.upload_seconds + f.download_seconds);
+  return f.upload_seconds +
+         static_cast<double>(frames - 1) * steady + f.kernel_seconds +
+         f.download_seconds;
+}
+
+}  // namespace mog::gpusim

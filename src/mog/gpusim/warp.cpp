@@ -1,0 +1,22 @@
+#include "mog/gpusim/warp.hpp"
+
+namespace mog::gpusim {
+
+ExecEnv*& exec_env() {
+  thread_local ExecEnv* env = nullptr;
+  return env;
+}
+
+WarpCtx::WarpCtx(ExecEnv& env, std::int64_t global_thread_base,
+                 int active_lanes)
+    : env_(env), global_base_(global_thread_base) {
+  MOG_CHECK(active_lanes >= 1 && active_lanes <= kWarpSize,
+            "warp must have 1..32 active lanes");
+  env_.active_mask = active_lanes == kWarpSize
+                         ? 0xffffffffu
+                         : ((1u << active_lanes) - 1u);
+}
+
+WarpCtx::~WarpCtx() = default;
+
+}  // namespace mog::gpusim

@@ -1,0 +1,550 @@
+// Warp-level SIMT execution engine.
+//
+// Device kernels are written against this API: values are 32-lane Vec<T>s,
+// control flow goes through WarpCtx (if_then / if_then_else / while_any /
+// for_range) which maintains the active-mask stack exactly like Fermi's SSY
+// + predicated commit scheme — a divergent branch executes both paths under
+// complementary masks, so serialization cost, branch-efficiency counters and
+// the extra instructions all emerge from simply running the kernel.
+//
+// Bookkeeping (issue-cycle charging and live-register tracking) happens
+// through a thread-local ExecEnv installed while a warp is running; Vec<T>
+// objects constructed outside a kernel are inert.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "mog/common/error.hpp"
+#include "mog/gpusim/coalescer.hpp"
+#include "mog/gpusim/device_memory.hpp"
+#include "mog/gpusim/stats.hpp"
+#include "mog/gpusim/timing_constants.hpp"
+
+namespace mog::gpusim {
+
+using Addr = std::int64_t;  ///< lane-level index/address arithmetic type
+
+/// Register footprint of one lane value, in 32-bit words. Addresses (Addr)
+/// occupy a 64-bit register pair, as on real hardware.
+template <typename T>
+inline constexpr int kRegWords = sizeof(T) <= 4 ? 1 : 2;
+
+// ---------------------------------------------------------------------------
+// Execution environment (thread-local, installed per running warp)
+// ---------------------------------------------------------------------------
+
+struct RegTracker {
+  int live_words = 0;
+  int peak_words = 0;
+  void alloc(int words) {
+    live_words += words;
+    if (live_words > peak_words) peak_words = live_words;
+  }
+  void release(int words) { live_words -= words; }
+};
+
+struct ExecEnv {
+  KernelStats* stats = nullptr;
+  RegTracker* regs = nullptr;
+  Coalescer* coalescer = nullptr;
+  std::uint32_t active_mask = 0xffffffffu;
+};
+
+/// Currently-running warp environment (nullptr outside kernel execution).
+ExecEnv*& exec_env();
+
+namespace detail {
+
+inline void charge(int cycles) {
+  if (ExecEnv* env = exec_env(); env != nullptr && env->active_mask != 0) {
+    env->stats->issue_cycles += static_cast<std::uint64_t>(cycles);
+    ++env->stats->warp_instructions;
+  }
+}
+
+template <typename T>
+inline void charge_arith() {
+  if constexpr (sizeof(T) == 8 && std::is_floating_point_v<T>)
+    charge(kCyclesDpArith);
+  else if constexpr (std::is_floating_point_v<T>)
+    charge(kCyclesSpArith);
+  else
+    charge(kCyclesIntArith);
+}
+
+template <typename T>
+inline void charge_div() {
+  if constexpr (std::is_floating_point_v<T> && sizeof(T) == 8)
+    charge(kCyclesDpDiv);
+  else if constexpr (std::is_floating_point_v<T>)
+    charge(kCyclesSpDiv);
+  else
+    charge(kCyclesIntArith * 4);  // integer div: multi-instruction sequence
+}
+
+template <typename T>
+inline void charge_sqrt() {
+  charge(sizeof(T) == 8 ? kCyclesDpSqrt : kCyclesSpSqrt);
+}
+
+inline void track_alloc(int words) {
+  if (ExecEnv* env = exec_env(); env != nullptr) env->regs->alloc(words);
+}
+inline void track_release(int words) {
+  if (ExecEnv* env = exec_env(); env != nullptr) env->regs->release(words);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Vec<T>: one register's worth of per-lane values
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class Vec {
+ public:
+  Vec() : lane_{} { detail::track_alloc(kRegWords<T>); }
+  explicit Vec(T broadcast) {
+    lane_.fill(broadcast);
+    detail::track_alloc(kRegWords<T>);
+  }
+  Vec(const Vec& other) : lane_(other.lane_) {
+    detail::track_alloc(kRegWords<T>);
+  }
+  Vec(Vec&& other) noexcept : lane_(other.lane_) {
+    detail::track_alloc(kRegWords<T>);
+  }
+  Vec& operator=(const Vec& other) = default;
+  Vec& operator=(Vec&& other) noexcept = default;
+  ~Vec() { detail::track_release(kRegWords<T>); }
+
+  T& operator[](int lane) { return lane_[static_cast<std::size_t>(lane)]; }
+  const T& operator[](int lane) const {
+    return lane_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Lane-indexed iota helper: lane i gets base + i * step.
+  static Vec iota(T base, T step = T{1}) {
+    Vec v;
+    for (int i = 0; i < kWarpSize; ++i)
+      v.lane_[static_cast<std::size_t>(i)] =
+          static_cast<T>(base + step * static_cast<T>(i));
+    return v;
+  }
+
+ private:
+  std::array<T, kWarpSize> lane_;
+};
+
+/// Per-lane boolean predicate (Fermi predicate registers are not part of the
+/// general register file, so Pred is untracked).
+struct Pred {
+  std::uint32_t bits = 0;
+  bool lane(int i) const { return (bits >> i) & 1u; }
+  void set(int i, bool v) {
+    if (v)
+      bits |= (1u << i);
+    else
+      bits &= ~(1u << i);
+  }
+  friend Pred operator&(Pred a, Pred b) { return Pred{a.bits & b.bits}; }
+  friend Pred operator|(Pred a, Pred b) { return Pred{a.bits | b.bits}; }
+  friend Pred operator~(Pred a) { return Pred{~a.bits}; }
+};
+
+// --- elementwise arithmetic (charged as one warp instruction each) ---------
+
+#define MOG_GPUSIM_BINOP(op)                                            \
+  template <typename T>                                                 \
+  inline Vec<T> operator op(const Vec<T>& a, const Vec<T>& b) {         \
+    detail::charge_arith<T>();                                          \
+    Vec<T> r;                                                           \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b[i];            \
+    return r;                                                           \
+  }                                                                     \
+  template <typename T>                                                 \
+  inline Vec<T> operator op(const Vec<T>& a, T b) {                     \
+    detail::charge_arith<T>();                                          \
+    Vec<T> r;                                                           \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b;               \
+    return r;                                                           \
+  }                                                                     \
+  template <typename T>                                                 \
+  inline Vec<T> operator op(T a, const Vec<T>& b) {                     \
+    detail::charge_arith<T>();                                          \
+    Vec<T> r;                                                           \
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a op b[i];               \
+    return r;                                                           \
+  }
+
+MOG_GPUSIM_BINOP(+)
+MOG_GPUSIM_BINOP(-)
+MOG_GPUSIM_BINOP(*)
+#undef MOG_GPUSIM_BINOP
+
+template <typename T>
+inline Vec<T> operator/(const Vec<T>& a, const Vec<T>& b) {
+  detail::charge_div<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = b[i] != T{0} ? a[i] / b[i] : T{0};
+  return r;
+}
+template <typename T>
+inline Vec<T> operator/(const Vec<T>& a, T b) {
+  detail::charge_div<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = b != T{0} ? a[i] / b : T{0};
+  return r;
+}
+template <typename T>
+inline Vec<T> operator/(T a, const Vec<T>& b) {
+  detail::charge_div<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = b[i] != T{0} ? a / b[i] : T{0};
+  return r;
+}
+
+template <typename T>
+inline Vec<T> vabs(const Vec<T>& a) {
+  detail::charge_arith<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = std::abs(a[i]);
+  return r;
+}
+
+template <typename T>
+inline Vec<T> vsqrt(const Vec<T>& a) {
+  detail::charge_sqrt<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > T{0} ? std::sqrt(a[i]) : T{0};
+  return r;
+}
+
+/// Fused multiply-add a*b + c — contracted, matching GPU codegen. CPU
+/// reference code compiles with -ffp-contract=off, so this is the mechanism
+/// behind the paper's small MS-SSIM deltas (§V-A).
+template <typename T>
+inline Vec<T> vfma(const Vec<T>& a, const Vec<T>& b, const Vec<T>& c) {
+  detail::charge_arith<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = std::fma(a[i], b[i], c[i]);
+  return r;
+}
+
+template <typename T>
+inline Vec<T> vmax(const Vec<T>& a, const Vec<T>& b) {
+  detail::charge_arith<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+  return r;
+}
+
+template <typename T>
+inline Vec<T> vmin(const Vec<T>& a, const Vec<T>& b) {
+  detail::charge_arith<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+  return r;
+}
+
+template <typename To, typename From>
+inline Vec<To> vcast(const Vec<From>& a) {
+  detail::charge(kCyclesSpArith);
+  Vec<To> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = static_cast<To>(a[i]);
+  return r;
+}
+
+/// Predicated blend: lane-wise p ? a : b. One select instruction.
+template <typename T>
+inline Vec<T> select(const Pred& p, const Vec<T>& a, const Vec<T>& b) {
+  detail::charge_arith<T>();
+  Vec<T> r;
+  for (int i = 0; i < kWarpSize; ++i) r[i] = p.lane(i) ? a[i] : b[i];
+  return r;
+}
+
+#define MOG_GPUSIM_CMP(name, op)                                        \
+  template <typename T>                                                 \
+  inline Pred name(const Vec<T>& a, const Vec<T>& b) {                  \
+    detail::charge_arith<T>();                                          \
+    Pred p;                                                             \
+    for (int i = 0; i < kWarpSize; ++i) p.set(i, a[i] op b[i]);         \
+    return p;                                                           \
+  }                                                                     \
+  template <typename T>                                                 \
+  inline Pred name(const Vec<T>& a, T b) {                              \
+    detail::charge_arith<T>();                                          \
+    Pred p;                                                             \
+    for (int i = 0; i < kWarpSize; ++i) p.set(i, a[i] op b);            \
+    return p;                                                           \
+  }
+
+MOG_GPUSIM_CMP(vlt, <)
+MOG_GPUSIM_CMP(vle, <=)
+MOG_GPUSIM_CMP(vgt, >)
+MOG_GPUSIM_CMP(vge, >=)
+MOG_GPUSIM_CMP(veq, ==)
+#undef MOG_GPUSIM_CMP
+
+// ---------------------------------------------------------------------------
+// Shared memory
+// ---------------------------------------------------------------------------
+
+/// Block-scope shared array handle (storage owned by BlockCtx).
+template <typename T>
+struct SharedSpan {
+  T* data = nullptr;
+  std::uint32_t byte_offset = 0;  ///< within the block's shared segment
+  std::size_t count = 0;
+};
+
+// ---------------------------------------------------------------------------
+// WarpCtx: mask-stack control flow + memory access
+// ---------------------------------------------------------------------------
+
+class WarpCtx {
+ public:
+  /// `active_lanes` < 32 models the ragged last warp of a grid.
+  WarpCtx(ExecEnv& env, std::int64_t global_thread_base, int active_lanes);
+  ~WarpCtx();
+
+  WarpCtx(const WarpCtx&) = delete;
+  WarpCtx& operator=(const WarpCtx&) = delete;
+
+  /// Global thread ids of this warp's lanes (blockIdx*blockDim+threadIdx).
+  Vec<Addr> global_ids() const {
+    return Vec<Addr>::iota(global_base_, 1);
+  }
+  std::int64_t global_base() const { return global_base_; }
+  std::uint32_t active_mask() const { return env_.active_mask; }
+  int active_count() const { return std::popcount(env_.active_mask); }
+  bool any_active() const { return env_.active_mask != 0; }
+
+  // --- control flow -------------------------------------------------------
+  template <typename ThenFn>
+  void if_then(const Pred& p, ThenFn&& then_fn) {
+    record_branch(p);
+    const std::uint32_t taken = env_.active_mask & p.bits;
+    if (taken != 0) {
+      MaskScope scope{env_, taken};
+      then_fn();
+    }
+  }
+
+  template <typename ThenFn, typename ElseFn>
+  void if_then_else(const Pred& p, ThenFn&& then_fn, ElseFn&& else_fn) {
+    record_branch(p);
+    const std::uint32_t taken = env_.active_mask & p.bits;
+    const std::uint32_t not_taken = env_.active_mask & ~p.bits;
+    if (taken != 0) {
+      MaskScope scope{env_, taken};
+      then_fn();
+    }
+    if (not_taken != 0) {
+      MaskScope scope{env_, not_taken};
+      else_fn();
+    }
+  }
+
+  /// Uniform counted loop (all lanes iterate together; back-edge branches
+  /// are never divergent).
+  template <typename BodyFn>
+  void for_range(int n, BodyFn&& body) {
+    for (int i = 0; i < n; ++i) {
+      ++env_.stats->branches_executed;
+      detail::charge(kCyclesBranch);
+      body(i);
+    }
+    ++env_.stats->branches_executed;  // loop-exit branch
+    detail::charge(kCyclesBranch);
+  }
+
+  /// Data-dependent loop: iterate while any active lane's condition holds;
+  /// lanes whose condition fails drop out (this is where early-exit scans
+  /// diverge). `cond` is evaluated under the loop's current mask.
+  template <typename CondFn, typename BodyFn>
+  void while_any(CondFn&& cond, BodyFn&& body) {
+    const std::uint32_t saved = env_.active_mask;
+    while (env_.active_mask != 0) {
+      const Pred p = cond();
+      record_branch(p);
+      env_.active_mask &= p.bits;
+      if (env_.active_mask == 0) break;
+      body();
+    }
+    env_.active_mask = saved;
+  }
+
+  /// Masked commit: dst = src on active lanes only.
+  template <typename T>
+  void set(Vec<T>& dst, const Vec<T>& src) {
+    detail::charge_arith<T>();
+    for (int i = 0; i < kWarpSize; ++i)
+      if ((env_.active_mask >> i) & 1u) dst[i] = src[i];
+  }
+
+  /// Warp-wide OR-reduction of a predicate over active lanes (models the
+  /// __any() / vote intrinsic family: one instruction).
+  bool any(const Pred& p) const {
+    detail::charge(kCyclesIntArith);
+    return (env_.active_mask & p.bits) != 0;
+  }
+
+  /// Warp-wide max over active lanes (butterfly shuffle reduction: 5 steps
+  /// of shfl+max on real hardware). Returns `fallback` when no lane is
+  /// active.
+  std::int32_t lane_max(const Vec<std::int32_t>& v,
+                        std::int32_t fallback = 0) const {
+    detail::charge(10 * kCyclesIntArith);  // 5x (shfl + max)
+    std::int32_t best = fallback;
+    bool found = false;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      best = found ? std::max(best, v[i]) : v[i];
+      found = true;
+    }
+    return best;
+  }
+
+  // --- global memory --------------------------------------------------------
+  /// Gather: out lane i = static_cast<T>(span[idx[i]]) for active lanes;
+  /// inactive lanes read as zero. Records one warp load instruction.
+  template <typename T, typename S>
+  Vec<T> load(const DevSpan<S>& span, const Vec<Addr>& idx) {
+    Vec<T> out;
+    std::array<std::uint64_t, kWarpSize> addrs;
+    int n = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      const Addr j = idx[i];
+      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                 "device load out of bounds");
+      out[i] = static_cast<T>(span.data[j]);
+      addrs[static_cast<std::size_t>(n++)] =
+          span.addr_of(static_cast<std::size_t>(j));
+    }
+    env_.coalescer->access(Coalescer::Kind::kLoad,
+                           std::span<const std::uint64_t>{addrs.data(),
+                                                          std::size_t(n)},
+                           sizeof(S), *env_.stats);
+    detail::charge(kCyclesMemIssue);
+    return out;
+  }
+
+  /// Scatter: span[idx[i]] = static_cast<S>(v[i]) for active lanes.
+  template <typename S, typename T>
+  void store(const DevSpan<S>& span, const Vec<Addr>& idx, const Vec<T>& v) {
+    std::array<std::uint64_t, kWarpSize> addrs;
+    int n = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      const Addr j = idx[i];
+      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                 "device store out of bounds");
+      span.data[j] = static_cast<S>(v[i]);
+      addrs[static_cast<std::size_t>(n++)] =
+          span.addr_of(static_cast<std::size_t>(j));
+    }
+    env_.coalescer->access(Coalescer::Kind::kStore,
+                           std::span<const std::uint64_t>{addrs.data(),
+                                                          std::size_t(n)},
+                           sizeof(S), *env_.stats);
+    detail::charge(kCyclesMemIssue);
+  }
+
+  // --- shared memory ---------------------------------------------------------
+  template <typename T>
+  Vec<T> shared_load(const SharedSpan<T>& sh, const Vec<Addr>& idx) {
+    Vec<T> out;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      const Addr j = idx[i];
+      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < sh.count,
+                 "shared load out of bounds");
+      out[i] = sh.data[j];
+    }
+    charge_shared<T>(sh, idx);
+    return out;
+  }
+
+  template <typename T>
+  void shared_store(const SharedSpan<T>& sh, const Vec<Addr>& idx,
+                    const Vec<T>& v) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      const Addr j = idx[i];
+      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < sh.count,
+                 "shared store out of bounds");
+      sh.data[j] = v[i];
+    }
+    charge_shared<T>(sh, idx);
+  }
+
+ private:
+  struct MaskScope {
+    MaskScope(ExecEnv& env, std::uint32_t new_mask)
+        : env_(env), saved_(env.active_mask) {
+      env_.active_mask = new_mask;
+    }
+    ~MaskScope() { env_.active_mask = saved_; }
+    ExecEnv& env_;
+    std::uint32_t saved_;
+  };
+
+  void record_branch(const Pred& p) {
+    ++env_.stats->branches_executed;
+    detail::charge(kCyclesBranch);
+    const std::uint32_t taken = env_.active_mask & p.bits;
+    if (taken != 0 && taken != env_.active_mask) {
+      ++env_.stats->branches_divergent;
+      detail::charge(kCyclesDivergence);
+    }
+  }
+
+  /// Bank-conflict model: 32 banks x 4-byte words; replay count = max number
+  /// of *distinct* words needed from one bank. 64-bit types run as two
+  /// 32-bit phases (Fermi handles them without inherent conflict).
+  template <typename T>
+  void charge_shared(const SharedSpan<T>& sh, const Vec<Addr>& idx);
+
+  ExecEnv& env_;
+  std::int64_t global_base_;
+};
+
+template <typename T>
+void WarpCtx::charge_shared(const SharedSpan<T>& sh, const Vec<Addr>& idx) {
+  // Distinct 32-bit word addresses per bank, computed on the first word of
+  // each element.
+  std::uint32_t words[kWarpSize];
+  int n = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (((env_.active_mask >> i) & 1u) == 0) continue;
+    words[n++] = static_cast<std::uint32_t>(
+        (sh.byte_offset + static_cast<std::uint64_t>(idx[i]) * sizeof(T)) / 4);
+  }
+  int bank_count[kWarpSize] = {};
+  int degree = 1;
+  for (int a = 0; a < n; ++a) {
+    bool dup = false;
+    for (int b = 0; b < a; ++b)
+      if (words[b] == words[a]) {
+        dup = true;  // broadcast: same word, no conflict
+        break;
+      }
+    if (dup) continue;
+    const int bank = static_cast<int>(words[a] % 32u);
+    if (++bank_count[bank] > degree) degree = bank_count[bank];
+  }
+  ++env_.stats->shared_accesses;
+  env_.stats->shared_cycles += static_cast<std::uint64_t>(
+      degree * (sizeof(T) == 8 ? kCyclesSharedF64 : kCyclesSharedF32));
+  detail::charge(kCyclesMemIssue);
+}
+
+}  // namespace mog::gpusim

@@ -1,0 +1,64 @@
+// The paper's optimization ladder (Tables II and III).
+//
+//   A  base CUDA port           — AoS layout, sorted algorithm, sequential
+//                                 transfers
+//   B  + memory coalescing      — SoA layout (Fig. 4b)
+//   C  + overlapped execution   — double-buffered transfers (Fig. 5b);
+//                                 kernel identical to B
+//   D  + branch reduction       — no rank/sort, unconditional component scan
+//                                 (Algorithms 2 -> 3)
+//   E  + predicated execution   — parameter update via blends
+//                                 (Algorithms 4 -> 5)
+//   F  + register reduction     — drop the diff[] array, recompute the
+//                                 difference in the foreground test
+#pragma once
+
+namespace mog::kernels {
+
+enum class OptLevel { kA, kB, kC, kD, kE, kF };
+
+inline constexpr OptLevel kAllLevels[] = {OptLevel::kA, OptLevel::kB,
+                                          OptLevel::kC, OptLevel::kD,
+                                          OptLevel::kE, OptLevel::kF};
+
+/// A uses the interleaved (array-of-structures) parameter layout.
+inline bool uses_aos_layout(OptLevel level) { return level == OptLevel::kA; }
+
+/// A, B, C rank + sort components and early-exit the foreground scan.
+inline bool uses_sort(OptLevel level) { return level <= OptLevel::kC; }
+
+/// E, F use source-level predicated updates instead of branches.
+inline bool uses_predication(OptLevel level) { return level >= OptLevel::kE; }
+
+/// A..E keep the pre-update diff[] array live for the foreground test;
+/// F recomputes the difference (the register-reduction rewrite).
+inline bool keeps_diff_array(OptLevel level) { return level <= OptLevel::kE; }
+
+/// C onward overlaps transfers with kernel execution.
+inline bool uses_overlap(OptLevel level) { return level >= OptLevel::kC; }
+
+inline const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kA: return "A";
+    case OptLevel::kB: return "B";
+    case OptLevel::kC: return "C";
+    case OptLevel::kD: return "D";
+    case OptLevel::kE: return "E";
+    case OptLevel::kF: return "F";
+  }
+  return "?";
+}
+
+inline const char* describe(OptLevel level) {
+  switch (level) {
+    case OptLevel::kA: return "base implementation";
+    case OptLevel::kB: return "+ memory coalescing (SoA)";
+    case OptLevel::kC: return "+ overlapped transfers";
+    case OptLevel::kD: return "+ branch reduction (no sort)";
+    case OptLevel::kE: return "+ predicated execution";
+    case OptLevel::kF: return "+ register reduction";
+  }
+  return "?";
+}
+
+}  // namespace mog::kernels

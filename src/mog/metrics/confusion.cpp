@@ -1,0 +1,66 @@
+#include "mog/metrics/confusion.hpp"
+
+namespace mog {
+
+namespace {
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+double ConfusionCounts::precision() const {
+  return safe_div(static_cast<double>(tp), static_cast<double>(tp + fp));
+}
+
+double ConfusionCounts::recall() const {
+  return safe_div(static_cast<double>(tp), static_cast<double>(tp + fn));
+}
+
+double ConfusionCounts::f1() const {
+  return safe_div(2.0 * static_cast<double>(tp),
+                  static_cast<double>(2 * tp + fp + fn));
+}
+
+double ConfusionCounts::iou() const {
+  return safe_div(static_cast<double>(tp), static_cast<double>(tp + fp + fn));
+}
+
+double ConfusionCounts::accuracy() const {
+  return safe_div(static_cast<double>(tp + tn),
+                  static_cast<double>(tp + tn + fp + fn));
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+  return *this;
+}
+
+ConfusionCounts compare_masks(const FrameU8& predicted, const FrameU8& truth) {
+  MOG_CHECK(predicted.same_shape(truth), "mask shape mismatch");
+  ConfusionCounts c;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool p = predicted[i] != 0;
+    const bool t = truth[i] != 0;
+    if (p && t)
+      ++c.tp;
+    else if (p && !t)
+      ++c.fp;
+    else if (!p && t)
+      ++c.fn;
+    else
+      ++c.tn;
+  }
+  return c;
+}
+
+double mask_disagreement(const FrameU8& a, const FrameU8& b) {
+  MOG_CHECK(a.same_shape(b), "mask shape mismatch");
+  if (a.size() == 0) return 0.0;
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff += ((a[i] != 0) != (b[i] != 0)) ? 1 : 0;
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+}  // namespace mog

@@ -1,0 +1,33 @@
+// Binary-mask confusion metrics for foreground quality against ground truth
+// (supplementary to the paper's MS-SSIM — precision/recall make the
+// detection behaviour of the synthetic scenes inspectable).
+#pragma once
+
+#include <cstdint>
+
+#include "mog/common/image.hpp"
+
+namespace mog {
+
+struct ConfusionCounts {
+  std::uint64_t tp = 0;  ///< predicted fg, truth fg
+  std::uint64_t fp = 0;  ///< predicted fg, truth bg
+  std::uint64_t fn = 0;  ///< predicted bg, truth fg
+  std::uint64_t tn = 0;  ///< predicted bg, truth bg
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double iou() const;  ///< intersection-over-union of the foreground class
+  double accuracy() const;
+
+  ConfusionCounts& operator+=(const ConfusionCounts& other);
+};
+
+/// Compare two masks; any nonzero pixel counts as foreground.
+ConfusionCounts compare_masks(const FrameU8& predicted, const FrameU8& truth);
+
+/// Fraction of pixels where the two masks disagree.
+double mask_disagreement(const FrameU8& a, const FrameU8& b);
+
+}  // namespace mog

@@ -1,0 +1,102 @@
+#include "mog/metrics/image_ops.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mog {
+
+namespace {
+
+std::vector<double> gaussian_kernel(int radius, double sigma) {
+  std::vector<double> k(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    k[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (double& v : k) v /= sum;
+  return k;
+}
+
+// One separable pass along x or y with border renormalization.
+Image<double> convolve1d(const Image<double>& src,
+                         const std::vector<double>& kernel, bool horizontal) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  Image<double> out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      double acc = 0.0, wsum = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int xx = horizontal ? x + i : x;
+        const int yy = horizontal ? y : y + i;
+        if (!src.in_bounds(xx, yy)) continue;
+        const double w = kernel[static_cast<std::size_t>(i + radius)];
+        acc += w * src.at(xx, yy);
+        wsum += w;
+      }
+      out.at(x, y) = acc / wsum;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image<double> gaussian_blur(const Image<double>& src, int radius,
+                            double sigma) {
+  MOG_CHECK(radius >= 1 && sigma > 0.0, "bad blur parameters");
+  const auto kernel = gaussian_kernel(radius, sigma);
+  return convolve1d(convolve1d(src, kernel, /*horizontal=*/true), kernel,
+                    /*horizontal=*/false);
+}
+
+Image<double> gaussian_blur_ssim(const Image<double>& src) {
+  return gaussian_blur(src, /*radius=*/5, /*sigma=*/1.5);
+}
+
+Image<double> downsample2(const Image<double>& src) {
+  const int w = src.width() / 2;
+  const int h = src.height() / 2;
+  MOG_CHECK(w >= 1 && h >= 1, "image too small to downsample");
+  Image<double> out(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      out.at(x, y) = 0.25 * (src.at(2 * x, 2 * y) + src.at(2 * x + 1, 2 * y) +
+                             src.at(2 * x, 2 * y + 1) +
+                             src.at(2 * x + 1, 2 * y + 1));
+  return out;
+}
+
+Image<double> multiply(const Image<double>& a, const Image<double>& b) {
+  MOG_CHECK(a.same_shape(b), "shape mismatch");
+  Image<double> out(a.width(), a.height());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double mean(const Image<double>& img) {
+  MOG_CHECK(!img.empty(), "mean of empty image");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < img.size(); ++i) acc += img[i];
+  return acc / static_cast<double>(img.size());
+}
+
+double mse(const Image<double>& a, const Image<double>& b) {
+  MOG_CHECK(a.same_shape(b), "shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double psnr(const Image<double>& a, const Image<double>& b, double peak) {
+  const double err = mse(a, b);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / err);
+}
+
+}  // namespace mog

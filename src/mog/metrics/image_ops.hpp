@@ -1,0 +1,35 @@
+// Image-processing primitives backing the quality metrics.
+#pragma once
+
+#include "mog/common/image.hpp"
+
+namespace mog {
+
+/// Separable Gaussian blur with an 11-tap kernel, σ = 1.5 (the SSIM window).
+/// Borders use kernel renormalization (truncate + rescale), matching the
+/// common "valid-region emphasis" SSIM implementations.
+Image<double> gaussian_blur_ssim(const Image<double>& src);
+
+/// Separable Gaussian blur with an arbitrary odd kernel size and σ.
+Image<double> gaussian_blur(const Image<double>& src, int radius,
+                            double sigma);
+
+/// 2x downsampling by 2x2 box average (MS-SSIM pyramid step). Odd trailing
+/// rows/columns are dropped.
+Image<double> downsample2(const Image<double>& src);
+
+/// Elementwise product / square helpers.
+Image<double> multiply(const Image<double>& a, const Image<double>& b);
+
+/// Mean of all pixels.
+double mean(const Image<double>& img);
+
+/// Mean squared error between two same-shaped images.
+double mse(const Image<double>& a, const Image<double>& b);
+
+/// PSNR in dB for a given peak value (255 for 8-bit). Returns +inf when the
+/// images are identical.
+double psnr(const Image<double>& a, const Image<double>& b,
+            double peak = 255.0);
+
+}  // namespace mog

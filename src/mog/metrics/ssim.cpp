@@ -1,0 +1,109 @@
+#include "mog/metrics/ssim.hpp"
+
+#include <cmath>
+
+#include "mog/metrics/image_ops.hpp"
+
+namespace mog {
+
+namespace {
+
+struct SsimTerms {
+  double mean_ssim;
+  double mean_cs;
+};
+
+SsimTerms ssim_terms(const Image<double>& a, const Image<double>& b,
+                     const SsimOptions& opts) {
+  MOG_CHECK(a.same_shape(b), "SSIM requires same-shaped images");
+  MOG_CHECK(a.width() >= 11 && a.height() >= 11,
+            "SSIM window needs at least 11x11 pixels");
+
+  const double c1 = (opts.k1 * opts.peak) * (opts.k1 * opts.peak);
+  const double c2 = (opts.k2 * opts.peak) * (opts.k2 * opts.peak);
+
+  const Image<double> mu_a = gaussian_blur_ssim(a);
+  const Image<double> mu_b = gaussian_blur_ssim(b);
+  const Image<double> aa = gaussian_blur_ssim(multiply(a, a));
+  const Image<double> bb = gaussian_blur_ssim(multiply(b, b));
+  const Image<double> ab = gaussian_blur_ssim(multiply(a, b));
+
+  double acc_ssim = 0.0, acc_cs = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ma = mu_a[i], mb = mu_b[i];
+    const double var_a = aa[i] - ma * ma;
+    const double var_b = bb[i] - mb * mb;
+    const double cov = ab[i] - ma * mb;
+    const double cs = (2.0 * cov + c2) / (var_a + var_b + c2);
+    const double lum = (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+    acc_ssim += lum * cs;
+    acc_cs += cs;
+  }
+  const double n = static_cast<double>(a.size());
+  return {acc_ssim / n, acc_cs / n};
+}
+
+constexpr double kMsWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+}  // namespace
+
+double ssim(const Image<double>& a, const Image<double>& b,
+            const SsimOptions& opts) {
+  return ssim_terms(a, b, opts).mean_ssim;
+}
+
+double ssim(const FrameU8& a, const FrameU8& b, const SsimOptions& opts) {
+  return ssim(to_real<double>(a), to_real<double>(b), opts);
+}
+
+double ssim_cs(const Image<double>& a, const Image<double>& b,
+               const SsimOptions& opts) {
+  return ssim_terms(a, b, opts).mean_cs;
+}
+
+double ms_ssim(const Image<double>& a, const Image<double>& b,
+               const SsimOptions& opts, int max_scales) {
+  MOG_CHECK(a.same_shape(b), "MS-SSIM requires same-shaped images");
+  MOG_CHECK(max_scales >= 1 && max_scales <= 5, "max_scales must be in [1,5]");
+
+  // How many dyadic scales fit: the smallest level must still hold the
+  // 11x11 window.
+  int scales = 0;
+  {
+    int w = a.width(), h = a.height();
+    while (scales < max_scales && w >= 11 && h >= 11) {
+      ++scales;
+      w /= 2;
+      h /= 2;
+    }
+  }
+  MOG_CHECK(scales >= 1, "image too small for MS-SSIM");
+
+  double wsum = 0.0;
+  for (int s = 0; s < scales; ++s) wsum += kMsWeights[s];
+
+  Image<double> la = a, lb = b;
+  double result = 1.0;
+  for (int s = 0; s < scales; ++s) {
+    const SsimTerms t = ssim_terms(la, lb, opts);
+    const double exponent = kMsWeights[s] / wsum;
+    // Intermediate scales contribute contrast-structure; the coarsest scale
+    // contributes the full SSIM (luminance included).
+    const double term = (s == scales - 1) ? t.mean_ssim : t.mean_cs;
+    // Negative terms can occur for anticorrelated patches; clamp as in the
+    // reference implementation to keep the geometric mean defined.
+    result *= std::pow(std::max(term, 0.0), exponent);
+    if (s != scales - 1) {
+      la = downsample2(gaussian_blur(la, /*radius=*/1, /*sigma=*/0.75));
+      lb = downsample2(gaussian_blur(lb, /*radius=*/1, /*sigma=*/0.75));
+    }
+  }
+  return result;
+}
+
+double ms_ssim(const FrameU8& a, const FrameU8& b, const SsimOptions& opts,
+               int max_scales) {
+  return ms_ssim(to_real<double>(a), to_real<double>(b), opts, max_scales);
+}
+
+}  // namespace mog

@@ -1,0 +1,88 @@
+// Experiment runner: reproduces one cell of the paper's evaluation.
+//
+// Runs the synthetic scene through (a) the CPU double-precision serial
+// reference (the paper's ground truth) and (b) the configured GPU variant on
+// the simulator; collects profiler counters, modeled seconds, speedups
+// against the calibrated CPU cost model, and MS-SSIM / confusion quality.
+//
+// Counters are measured at the configured (reduced) resolution and frame
+// count, then extrapolated to the paper's full-scale workload (450 full-HD
+// frames) for the headline speedup — every per-warp counter is resolution-
+// independent, and both timing models are linear in pixels and frames (see
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mog/cpu/cost_model.hpp"
+#include "mog/gpusim/device_spec.hpp"
+#include "mog/gpusim/occupancy.hpp"
+#include "mog/gpusim/stats.hpp"
+#include "mog/gpusim/timing_model.hpp"
+#include "mog/kernels/opt_level.hpp"
+#include "mog/kernels/tiled_kernel.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/cpu/mog_params.hpp"
+
+namespace mog {
+
+struct ExperimentConfig {
+  // Workload (measured scale).
+  int width = 640;
+  int height = 360;
+  int frames = 24;
+  int warmup_frames = 8;  ///< excluded from quality averaging
+  std::uint64_t seed = 42;
+
+  // Algorithm.
+  MogParams params;  ///< num_components lives here
+  Precision precision = Precision::kDouble;
+
+  // GPU variant.
+  kernels::OptLevel level = kernels::OptLevel::kF;
+  bool tiled = false;
+  kernels::TiledConfig tiled_config;
+  int threads_per_block = 128;
+
+  // Simulated device (defaults to the Tesla C2075).
+  gpusim::DeviceSpec device;
+
+  // Quality measurement is the expensive part; off by default.
+  bool measure_quality = false;
+
+  std::string label() const;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+
+  // Profiler counters (per frame, averaged).
+  gpusim::KernelStats per_frame;
+  gpusim::Occupancy occupancy;
+  gpusim::KernelTiming kernel_timing;
+
+  // Modeled seconds at the measured scale.
+  double gpu_seconds = 0;
+  double cpu_seconds = 0;
+
+  // Full-scale extrapolation: the paper's 450 full-HD frames.
+  double gpu_seconds_fullhd450 = 0;
+  double cpu_seconds_fullhd450 = 0;
+  double speedup = 0;  ///< cpu_seconds_fullhd450 / gpu_seconds_fullhd450
+
+  // Quality vs the CPU double-precision reference (when measured).
+  double msssim_foreground = 0;
+  double msssim_background = 0;
+  double fg_disagreement = 0;  ///< fraction of pixels flipped vs reference
+  ConfusionCounts vs_truth;    ///< GPU mask vs the scene's ground truth
+};
+
+ExperimentResult run_gpu_experiment(const ExperimentConfig& config);
+
+/// Scale a launch's extensive counters by a pixel-count ratio (resource
+/// fields pass through). Exposed for the extrapolation tests.
+gpusim::KernelStats scale_stats(const gpusim::KernelStats& stats,
+                                double ratio);
+
+}  // namespace mog

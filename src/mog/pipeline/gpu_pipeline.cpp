@@ -1,0 +1,141 @@
+#include "mog/pipeline/gpu_pipeline.hpp"
+
+namespace mog {
+
+template <typename T>
+GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
+    : config_(config),
+      tp_(TypedMogParams<T>::from(config.params)),
+      device_(config.device),
+      state_(device_, config.width, config.height, config.params,
+             kernels::uses_aos_layout(config.level)
+                 ? kernels::ParamLayout::kAoS
+                 : kernels::ParamLayout::kSoA) {
+  MOG_CHECK(config.width > 0 && config.height > 0, "bad pipeline dimensions");
+  if (config_.tiled) {
+    MOG_CHECK(config_.level == kernels::OptLevel::kF,
+              "the tiled variant builds on optimization level F");
+    config_.tiled_config.validate();
+  }
+  const int nbuf = config_.tiled ? config_.tiled_config.frame_group : 1;
+  const std::size_t n = state_.num_pixels();
+  for (int i = 0; i < nbuf; ++i) {
+    frame_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
+    fg_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
+  }
+}
+
+template <typename T>
+bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
+  MOG_CHECK(frame.width() == config_.width &&
+                frame.height() == config_.height,
+            "frame dimensions do not match the pipeline");
+  const std::size_t n = state_.num_pixels();
+
+  if (!config_.tiled) {
+    gpusim::copy_to_device(frame_bufs_[0], frame.data(), n);
+    accumulated_ += kernels::launch_mog_frame<T>(
+        device_, state_, frame_bufs_[0], fg_bufs_[0], tp_, config_.level,
+        config_.threads_per_block);
+    ++launches_;
+    ++frames_;
+    if (!fg.same_shape(frame)) fg = FrameU8(config_.width, config_.height);
+    gpusim::copy_from_device(fg.data(), fg_bufs_[0], n);
+    return true;
+  }
+
+  // Tiled: buffer until the frame group is full.
+  gpusim::copy_to_device(frame_bufs_[static_cast<std::size_t>(pending_)],
+                         frame.data(), n);
+  ++pending_;
+  ++frames_;
+  if (pending_ < config_.tiled_config.frame_group) return false;
+
+  run_group();
+  if (!fg.same_shape(frame)) fg = FrameU8(config_.width, config_.height);
+  fg = group_masks_.back();
+  return true;
+}
+
+template <typename T>
+void GpuMogPipeline<T>::run_group() {
+  const std::size_t n = state_.num_pixels();
+  const std::size_t g = static_cast<std::size_t>(pending_);
+  accumulated_ += kernels::launch_tiled_group<T>(
+      device_, state_,
+      std::span<const gpusim::DevSpan<std::uint8_t>>{frame_bufs_.data(), g},
+      std::span<const gpusim::DevSpan<std::uint8_t>>{fg_bufs_.data(), g},
+      tp_, config_.tiled_config);
+  ++launches_;
+  group_masks_.clear();
+  for (std::size_t i = 0; i < g; ++i) {
+    FrameU8 mask(config_.width, config_.height);
+    gpusim::copy_from_device(mask.data(), fg_bufs_[i], n);
+    group_masks_.push_back(std::move(mask));
+  }
+  pending_ = 0;
+}
+
+template <typename T>
+int GpuMogPipeline<T>::flush(std::vector<FrameU8>& out) {
+  if (!config_.tiled || pending_ == 0) return 0;
+  run_group();
+  for (const auto& m : group_masks_) out.push_back(m);
+  return static_cast<int>(group_masks_.size());
+}
+
+template <typename T>
+gpusim::KernelStats GpuMogPipeline<T>::per_frame_stats() const {
+  const std::uint64_t processed = frames_ - static_cast<std::uint64_t>(pending_);
+  return processed == 0 ? accumulated_ : accumulated_.averaged_over(processed);
+}
+
+template <typename T>
+gpusim::Occupancy GpuMogPipeline<T>::occupancy() const {
+  const gpusim::KernelStats s = per_frame_stats();
+  return gpusim::compute_occupancy(device_.spec(), s.regs_per_thread,
+                                   s.threads_per_block,
+                                   s.shared_bytes_per_block);
+}
+
+template <typename T>
+gpusim::KernelTiming GpuMogPipeline<T>::per_frame_kernel_timing() const {
+  return gpusim::kernel_time(per_frame_stats(), occupancy(), device_.spec());
+}
+
+template <typename T>
+double GpuMogPipeline<T>::modeled_seconds(std::uint64_t frames) const {
+  const std::uint64_t processed =
+      frames_ - static_cast<std::uint64_t>(pending_);
+  if (frames == 0) frames = processed;
+  if (frames == 0) return 0.0;
+
+  const std::size_t n = state_.num_pixels();
+  gpusim::FrameSchedule sched;
+  sched.upload_seconds = gpusim::transfer_seconds(device_.spec(), n);
+  sched.download_seconds = gpusim::transfer_seconds(device_.spec(), n);
+  sched.kernel_seconds = per_frame_kernel_timing().total_seconds;
+
+  if (!config_.tiled) {
+    return kernels::uses_overlap(config_.level)
+               ? gpusim::overlapped_pipeline_seconds(sched, frames)
+               : gpusim::sequential_pipeline_seconds(sched, frames);
+  }
+
+  // Tiled: transfers are per frame, the kernel runs once per group. The
+  // schedule overlaps group g's kernel with group g+1's uploads / group
+  // g-1's downloads.
+  const double g = static_cast<double>(config_.tiled_config.frame_group);
+  gpusim::FrameSchedule group_sched;
+  group_sched.upload_seconds = sched.upload_seconds * g;
+  group_sched.download_seconds = sched.download_seconds * g;
+  group_sched.kernel_seconds = sched.kernel_seconds * g;  // per-frame avg * g
+  const std::uint64_t groups = static_cast<std::uint64_t>(
+      (static_cast<double>(frames) + g - 1.0) / g);
+  return gpusim::overlapped_pipeline_seconds(group_sched, groups);
+}
+
+template class GpuMogPipeline<float>;
+template class GpuMogPipeline<double>;
+
+}  // namespace mog

@@ -1,0 +1,99 @@
+// Host-side GPU processing pipeline.
+//
+// Owns the simulated device, the device-resident model, and the per-frame
+// I/O buffers; runs the configured kernel variant frame by frame (or in
+// frame groups for the tiled variant), accumulates profiler counters, and
+// produces modeled wall-clock seconds by composing kernel timing with the
+// transfer schedule (sequential for A/B, overlapped Fig. 5b for C+).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/cpu/mog_model.hpp"
+#include "mog/gpusim/occupancy.hpp"
+#include "mog/gpusim/timing_model.hpp"
+#include "mog/gpusim/transfer_model.hpp"
+#include "mog/kernels/mog_kernels.hpp"
+#include "mog/kernels/tiled_kernel.hpp"
+
+namespace mog {
+
+template <typename T>
+class GpuMogPipeline {
+ public:
+  struct Config {
+    int width = 0;
+    int height = 0;
+    MogParams params;
+    kernels::OptLevel level = kernels::OptLevel::kF;
+    bool tiled = false;                 ///< §IV-D windowed variant (on top of F)
+    kernels::TiledConfig tiled_config;  ///< used when tiled
+    int threads_per_block = kernels::kDefaultThreadsPerBlock;
+
+    /// Simulated device (defaults to the paper's Tesla C2075; pass
+    /// gpusim::embedded_device_spec() for the §VI future-work studies).
+    gpusim::DeviceSpec device;
+  };
+
+  explicit GpuMogPipeline(const Config& config);
+
+  /// Process one frame: upload, kernel (for the tiled variant: buffered
+  /// until the frame group fills), download the mask. For the tiled variant
+  /// `fg` is only written when the group completes (returns true).
+  bool process(const FrameU8& frame, FrameU8& fg);
+
+  /// Tiled variant: run any buffered partial group now. Returns the number
+  /// of masks appended to `out`.
+  int flush(std::vector<FrameU8>& out);
+
+  /// Masks of the last completed tiled group (group-size entries).
+  const std::vector<FrameU8>& last_group_masks() const {
+    return group_masks_;
+  }
+
+  std::uint64_t frames_processed() const { return frames_; }
+  std::uint64_t kernel_launches() const { return launches_; }
+
+  /// Per-frame averaged profiler counters (tiled launches are normalized by
+  /// their group size).
+  gpusim::KernelStats per_frame_stats() const;
+
+  gpusim::Occupancy occupancy() const;
+  gpusim::KernelTiming per_frame_kernel_timing() const;
+
+  /// Modeled end-to-end seconds for `frames` frames at this pipeline's
+  /// resolution (defaults to the number actually processed), composing the
+  /// per-frame kernel time with the variant's transfer schedule.
+  double modeled_seconds(std::uint64_t frames = 0) const;
+
+  /// Download the device model (background estimates, cross-checks).
+  MogModel<T> model() const { return state_.download(config_.params); }
+
+  const Config& config() const { return config_; }
+  const gpusim::DeviceSpec& device_spec() const { return device_.spec(); }
+
+ private:
+  void run_group();
+
+  Config config_;
+  TypedMogParams<T> tp_;
+  gpusim::Device device_;
+  kernels::DeviceMogState<T> state_;
+  std::vector<gpusim::DevSpan<std::uint8_t>> frame_bufs_;
+  std::vector<gpusim::DevSpan<std::uint8_t>> fg_bufs_;
+
+  int pending_ = 0;  ///< buffered frames of the current tiled group
+  std::vector<FrameU8> group_masks_;
+
+  gpusim::KernelStats accumulated_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t launches_ = 0;
+};
+
+extern template class GpuMogPipeline<float>;
+extern template class GpuMogPipeline<double>;
+
+}  // namespace mog

@@ -1,0 +1,76 @@
+#include "mog/postproc/components.hpp"
+
+#include <algorithm>
+
+namespace mog {
+
+LabeledComponents label_components(const FrameU8& mask) {
+  const int w = mask.width(), h = mask.height();
+  LabeledComponents result{Image<std::int32_t>(w, h, -1), {}};
+
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < mask.size(); ++start) {
+    if (mask[start] == 0 || result.labels[start] >= 0) continue;
+    Blob blob;
+    blob.id = static_cast<int>(result.blobs.size());
+    blob.min_x = w;
+    blob.min_y = h;
+    std::int64_t sum_x = 0, sum_y = 0;
+
+    stack.assign(1, start);
+    result.labels[start] = blob.id;
+    while (!stack.empty()) {
+      const std::size_t p = stack.back();
+      stack.pop_back();
+      const int x = static_cast<int>(p % static_cast<std::size_t>(w));
+      const int y = static_cast<int>(p / static_cast<std::size_t>(w));
+      blob.min_x = std::min(blob.min_x, x);
+      blob.max_x = std::max(blob.max_x, x);
+      blob.min_y = std::min(blob.min_y, y);
+      blob.max_y = std::max(blob.max_y, y);
+      sum_x += x;
+      sum_y += y;
+      ++blob.area;
+
+      constexpr int kDx[] = {1, -1, 0, 0};
+      constexpr int kDy[] = {0, 0, 1, -1};
+      for (int d = 0; d < 4; ++d) {
+        const int nx = x + kDx[d], ny = y + kDy[d];
+        if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+        const std::size_t q =
+            static_cast<std::size_t>(ny) * static_cast<std::size_t>(w) + nx;
+        if (mask[q] != 0 && result.labels[q] < 0) {
+          result.labels[q] = blob.id;
+          stack.push_back(q);
+        }
+      }
+    }
+    blob.centroid_x = static_cast<double>(sum_x) / blob.area;
+    blob.centroid_y = static_cast<double>(sum_y) / blob.area;
+    result.blobs.push_back(blob);
+  }
+  return result;
+}
+
+std::vector<Blob> find_blobs(const FrameU8& mask, int min_area) {
+  std::vector<Blob> blobs = label_components(mask).blobs;
+  std::erase_if(blobs,
+                [min_area](const Blob& b) { return b.area < min_area; });
+  std::sort(blobs.begin(), blobs.end(),
+            [](const Blob& a, const Blob& b) { return a.area > b.area; });
+  return blobs;
+}
+
+FrameU8 blobs_to_mask(const LabeledComponents& components, int min_area) {
+  std::vector<bool> keep(components.blobs.size(), false);
+  for (const Blob& b : components.blobs)
+    keep[static_cast<std::size_t>(b.id)] = b.area >= min_area;
+  FrameU8 out(components.labels.width(), components.labels.height(), 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::int32_t id = components.labels[i];
+    if (id >= 0 && keep[static_cast<std::size_t>(id)]) out[i] = 255;
+  }
+  return out;
+}
+
+}  // namespace mog

@@ -1,0 +1,41 @@
+// Connected-component labeling and blob extraction on binary masks — the
+// bridge from per-pixel foreground to object-level detections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mog/common/image.hpp"
+
+namespace mog {
+
+struct Blob {
+  int id = 0;
+  int min_x = 0, min_y = 0, max_x = 0, max_y = 0;  ///< inclusive bbox
+  int area = 0;                                    ///< pixels
+  double centroid_x = 0, centroid_y = 0;
+
+  int width() const { return max_x - min_x + 1; }
+  int height() const { return max_y - min_y + 1; }
+  /// Fraction of the bounding box covered by the blob.
+  double fill_ratio() const {
+    const double box = static_cast<double>(width()) * height();
+    return box > 0 ? static_cast<double>(area) / box : 0.0;
+  }
+};
+
+struct LabeledComponents {
+  Image<std::int32_t> labels;  ///< -1 = background, otherwise blob id
+  std::vector<Blob> blobs;
+};
+
+/// 4-connected component labeling; any nonzero pixel is foreground.
+LabeledComponents label_components(const FrameU8& mask);
+
+/// Convenience: blobs with at least `min_area` pixels, largest first.
+std::vector<Blob> find_blobs(const FrameU8& mask, int min_area = 1);
+
+/// Render a blob list back into a mask (255 inside kept blobs).
+FrameU8 blobs_to_mask(const LabeledComponents& components, int min_area);
+
+}  // namespace mog

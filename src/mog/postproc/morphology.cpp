@@ -1,0 +1,87 @@
+#include "mog/postproc/morphology.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mog {
+
+namespace {
+
+/// Separable min/max filter: two passes (horizontal, vertical) of a sliding
+/// window — the square structuring element decomposes into two 1-D runs.
+/// kMax = dilation (foreground if ANY window pixel is foreground);
+/// otherwise erosion (foreground only if EVERY window pixel is foreground,
+/// with out-of-frame counting as background).
+template <bool kMax>
+FrameU8 minmax_filter(const FrameU8& mask, int radius) {
+  MOG_CHECK(radius >= 1 && radius <= 15, "radius must be in [1, 15]");
+  const int w = mask.width(), h = mask.height();
+  FrameU8 tmp(w, h), out(w, h);
+
+  auto window = [radius](auto&& fg_at, int center, int limit) {
+    if constexpr (kMax) {
+      for (int i = -radius; i <= radius; ++i) {
+        const int p = center + i;
+        if (p >= 0 && p < limit && fg_at(p)) return std::uint8_t{255};
+      }
+      return std::uint8_t{0};
+    } else {
+      // Erosion pads with its identity element (foreground), so closing
+      // remains extensive (mask ⊆ close(mask)) at the frame border.
+      for (int i = -radius; i <= radius; ++i) {
+        const int p = center + i;
+        if (p >= 0 && p < limit && !fg_at(p)) return std::uint8_t{0};
+      }
+      return std::uint8_t{255};
+    }
+  };
+
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      tmp.at(x, y) = window(
+          [&](int p) { return mask.at(p, y) != 0; }, x, w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      out.at(x, y) = window(
+          [&](int p) { return tmp.at(x, p) != 0; }, y, h);
+  return out;
+}
+
+}  // namespace
+
+FrameU8 erode(const FrameU8& mask, int radius) {
+  return minmax_filter<false>(mask, radius);
+}
+
+FrameU8 dilate(const FrameU8& mask, int radius) {
+  return minmax_filter<true>(mask, radius);
+}
+
+FrameU8 morph_open(const FrameU8& mask, int radius) {
+  return dilate(erode(mask, radius), radius);
+}
+
+FrameU8 morph_close(const FrameU8& mask, int radius) {
+  return erode(dilate(mask, radius), radius);
+}
+
+FrameU8 median3(const FrameU8& mask) {
+  const int w = mask.width(), h = mask.height();
+  FrameU8 out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int fg = 0, total = 0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int xx = x + dx, yy = y + dy;
+          if (xx < 0 || xx >= w || yy < 0 || yy >= h) continue;
+          ++total;
+          fg += (mask.at(xx, yy) != 0);
+        }
+      out.at(x, y) = (2 * fg > total) ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace mog

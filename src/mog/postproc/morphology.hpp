@@ -1,0 +1,35 @@
+// Binary-mask morphology for foreground cleanup.
+//
+// Background-subtraction masks carry salt-and-pepper noise (isolated false
+// positives) and small holes inside objects; morphological opening/closing
+// is the standard cleanup pass the paper's reference implementation
+// (Cheung & Kamath, "Robust background subtraction with foreground
+// validation") applies before downstream processing.
+//
+// All operations treat any nonzero pixel as foreground and produce strict
+// 0/255 output. Structuring element: square of (2*radius+1)^2.
+#pragma once
+
+#include "mog/common/image.hpp"
+
+namespace mog {
+
+/// Erosion: a pixel survives only if every pixel of the structuring
+/// element's neighbourhood is foreground. Out-of-frame pads with the
+/// operation's identity (foreground), keeping closing extensive at borders.
+FrameU8 erode(const FrameU8& mask, int radius = 1);
+
+/// Dilation: a pixel lights up if any neighbourhood pixel is foreground.
+FrameU8 dilate(const FrameU8& mask, int radius = 1);
+
+/// Opening (erode then dilate): removes specks smaller than the element.
+FrameU8 morph_open(const FrameU8& mask, int radius = 1);
+
+/// Closing (dilate then erode): fills holes/gaps smaller than the element.
+FrameU8 morph_close(const FrameU8& mask, int radius = 1);
+
+/// 3x3 binary median (majority of the 9-neighbourhood): despeckles while
+/// preserving object boundaries better than opening.
+FrameU8 median3(const FrameU8& mask);
+
+}  // namespace mog

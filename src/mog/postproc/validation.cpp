@@ -1,0 +1,40 @@
+#include "mog/postproc/validation.hpp"
+
+namespace mog {
+
+void ValidationConfig::validate() const {
+  MOG_CHECK(close_radius >= 0 && close_radius <= 15,
+            "close_radius out of range");
+  MOG_CHECK(open_radius >= 0 && open_radius <= 15,
+            "open_radius out of range");
+  MOG_CHECK(min_blob_area >= 0, "min_blob_area must be non-negative");
+  MOG_CHECK(min_fill_ratio >= 0.0 && min_fill_ratio <= 1.0,
+            "min_fill_ratio must be in [0, 1]");
+}
+
+FrameU8 validate_foreground(const FrameU8& raw_mask,
+                            const ValidationConfig& config) {
+  config.validate();
+  FrameU8 mask = raw_mask;
+  if (config.despeckle) mask = median3(mask);
+  if (config.close_radius > 0) mask = morph_close(mask, config.close_radius);
+  if (config.open_radius > 0) mask = morph_open(mask, config.open_radius);
+
+  if (config.min_blob_area > 0 || config.min_fill_ratio > 0.0) {
+    const LabeledComponents components = label_components(mask);
+    std::vector<bool> keep(components.blobs.size(), true);
+    for (const Blob& b : components.blobs) {
+      if (b.area < config.min_blob_area ||
+          b.fill_ratio() < config.min_fill_ratio)
+        keep[static_cast<std::size_t>(b.id)] = false;
+    }
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      const std::int32_t id = components.labels[i];
+      mask[i] =
+          (id >= 0 && keep[static_cast<std::size_t>(id)]) ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+}  // namespace mog

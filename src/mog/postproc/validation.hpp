@@ -1,0 +1,26 @@
+// Foreground validation: the cleanup pipeline of the paper's reference
+// implementation (Cheung & Kamath 2005 apply "foreground validation" after
+// raw MoG decisions). Composes despeckling, morphology, and blob-level
+// filtering into one configurable pass.
+#pragma once
+
+#include "mog/postproc/components.hpp"
+#include "mog/postproc/morphology.hpp"
+
+namespace mog {
+
+struct ValidationConfig {
+  bool despeckle = true;     ///< 3x3 binary median first
+  int close_radius = 1;      ///< fill small holes (0 = skip)
+  int open_radius = 0;       ///< remove thin bridges (0 = skip)
+  int min_blob_area = 24;    ///< drop blobs below this (0 = keep all)
+  double min_fill_ratio = 0; ///< drop wireframe-like blobs (0 = keep all)
+
+  void validate() const;
+};
+
+/// Apply the validation pipeline to a raw foreground mask.
+FrameU8 validate_foreground(const FrameU8& raw_mask,
+                            const ValidationConfig& config = {});
+
+}  // namespace mog

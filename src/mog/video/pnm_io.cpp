@@ -1,0 +1,66 @@
+#include "mog/video/pnm_io.hpp"
+
+#include <fstream>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog {
+
+void write_pgm(const std::string& path, const FrameU8& image) {
+  MOG_CHECK(!image.empty(), "cannot write empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error{"cannot open for writing: " + path};
+  out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) throw Error{"write failed: " + path};
+}
+
+namespace {
+// Skip whitespace and `#` comment lines between header tokens.
+void skip_separators(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& in, const std::string& path) {
+  skip_separators(in);
+  int v = 0;
+  if (!(in >> v)) throw Error{"malformed PGM header: " + path};
+  return v;
+}
+}  // namespace
+
+FrameU8 read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error{"cannot open for reading: " + path};
+  char magic[2] = {};
+  in.read(magic, 2);
+  if (!in || magic[0] != 'P' || magic[1] != '5')
+    throw Error{"not a binary PGM (P5): " + path};
+
+  const int width = read_header_int(in, path);
+  const int height = read_header_int(in, path);
+  const int maxval = read_header_int(in, path);
+  if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255)
+    throw Error{strprintf("unsupported PGM geometry %dx%d maxval=%d in %s",
+                          width, height, maxval, path.c_str())};
+  in.get();  // single whitespace byte after maxval
+
+  FrameU8 image(width, height);
+  in.read(reinterpret_cast<char*>(image.data()),
+          static_cast<std::streamsize>(image.size()));
+  if (!in) throw Error{"truncated PGM payload: " + path};
+  return image;
+}
+
+}  // namespace mog

@@ -1,0 +1,19 @@
+// Binary PGM (P5) image I/O — used by the examples to dump frames,
+// foreground masks, and background estimates in a format any viewer reads.
+#pragma once
+
+#include <string>
+
+#include "mog/common/image.hpp"
+
+namespace mog {
+
+/// Write an 8-bit grayscale image as binary PGM. Throws mog::Error on I/O
+/// failure.
+void write_pgm(const std::string& path, const FrameU8& image);
+
+/// Read a binary PGM (P5, maxval <= 255). Throws mog::Error on parse or I/O
+/// failure.
+FrameU8 read_pgm(const std::string& path);
+
+}  // namespace mog

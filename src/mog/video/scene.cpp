@@ -1,0 +1,273 @@
+#include "mog/video/scene.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mog/common/rng.hpp"
+
+namespace mog {
+
+void SceneConfig::validate() const {
+  MOG_CHECK(width >= 16 && height >= 16, "scene must be at least 16x16");
+  MOG_CHECK(noise_sd >= 0.0, "noise_sd must be non-negative");
+  MOG_CHECK(num_objects >= 0 && num_objects <= 64,
+            "num_objects must be in [0, 64]");
+  MOG_CHECK(object_speed > 0.0, "object_speed must be positive");
+  MOG_CHECK(texture_fraction >= 0.0 && texture_fraction <= 1.0,
+            "texture_fraction must be in [0, 1]");
+}
+
+SceneConfig SceneConfig::highway(int width, int height, std::uint64_t seed) {
+  SceneConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.seed = seed;
+  cfg.num_objects = 8;
+  cfg.object_speed = 6.0;
+  cfg.noise_sd = 7.0;
+  cfg.texture_fraction = 0.25;
+  cfg.flicker_regions = false;
+  cfg.waving_region = false;
+  return cfg;
+}
+
+SceneConfig SceneConfig::lobby(int width, int height, std::uint64_t seed) {
+  SceneConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.seed = seed;
+  cfg.num_objects = 2;
+  cfg.object_speed = 1.2;
+  cfg.noise_sd = 2.5;
+  cfg.texture_fraction = 0.05;
+  cfg.flicker_regions = true;  // displays / status lights
+  cfg.waving_region = false;
+  return cfg;
+}
+
+SceneConfig SceneConfig::waving_trees(int width, int height,
+                                      std::uint64_t seed) {
+  SceneConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.seed = seed;
+  cfg.num_objects = 3;
+  cfg.object_speed = 2.5;
+  cfg.noise_sd = 5.0;
+  cfg.texture_fraction = 0.85;
+  cfg.flicker_regions = false;
+  cfg.waving_region = true;
+  return cfg;
+}
+
+namespace {
+
+// Counter-based noise: hash (seed, frame, pixel) and shape four 16-bit
+// chunks into an Irwin-Hall(4) approximate Gaussian. Cheap, deterministic,
+// order-independent.
+double hash_noise(std::uint64_t seed, std::uint64_t t, std::uint64_t pixel) {
+  std::uint64_t z = seed ^ (t * 0x9e3779b97f4a7c15ull) ^
+                    (pixel * 0xbf58476d1ce4e5b9ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i)
+    sum += static_cast<double>((z >> (16 * i)) & 0xffff) / 65536.0;
+  // Sum of 4 U(0,1): mean 2, sd sqrt(1/3). Normalize to ~N(0,1).
+  return (sum - 2.0) * 1.7320508075688772;
+}
+
+// Static per-pixel attributes (is the pixel textured? mode amplitude,
+// period, phase) derived from a hash of (seed, pixel) only — stable over
+// time, independent across neighbours.
+std::uint64_t pixel_hash(std::uint64_t seed, std::uint64_t pixel) {
+  std::uint64_t z = (seed + 0x12345u) ^ (pixel * 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SyntheticScene::SyntheticScene(const SceneConfig& config) : config_(config) {
+  config_.validate();
+  Rng rng{config_.seed};
+
+  const double W = config_.width;
+  const double H = config_.height;
+
+  objects_.reserve(static_cast<std::size_t>(config_.num_objects));
+  for (int i = 0; i < config_.num_objects; ++i) {
+    MovingObject obj{};
+    obj.half_w = rng.uniform(0.03, 0.08) * W;
+    obj.half_h = rng.uniform(0.05, 0.12) * H;
+    obj.x0 = rng.uniform(obj.half_w, W - obj.half_w);
+    obj.y0 = rng.uniform(obj.half_h, H - obj.half_h);
+    const double speed = config_.object_speed * rng.uniform(0.6, 1.4);
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    obj.vx = speed * std::cos(angle);
+    obj.vy = speed * std::sin(angle);
+    // Dark and bright objects alternate so foreground contrasts with any
+    // local background intensity.
+    obj.intensity = (i % 2 == 0) ? 215 : 35;
+    obj.elliptical = (i % 3 == 0);
+    objects_.push_back(obj);
+  }
+
+  if (config_.flicker_regions) {
+    // Two small bimodal regions in opposite corners.
+    flicker_.push_back({config_.width / 10, config_.height / 10,
+                        config_.width / 8, config_.height / 8});
+    flicker_.push_back({config_.width * 7 / 10, config_.height * 6 / 10,
+                        config_.width / 8, config_.height / 8});
+  }
+  if (config_.waving_region) {
+    waving_ = {config_.width / 3, config_.height * 2 / 3,
+               config_.width / 4, config_.height / 4};
+  }
+}
+
+double SyntheticScene::reflect(double p, double lo, double hi) {
+  // Triangle-wave reflection keeps objects bouncing inside [lo, hi].
+  const double range = hi - lo;
+  if (range <= 0.0) return lo;
+  double q = std::fmod(p - lo, 2.0 * range);
+  if (q < 0.0) q += 2.0 * range;
+  return lo + (q <= range ? q : 2.0 * range - q);
+}
+
+double SyntheticScene::background_value(int x, int y, int t) const {
+  const double W = config_.width;
+  const double H = config_.height;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  // Static plate: smooth gradient plus a tile pattern, typical of indoor
+  // surveillance backgrounds.
+  double v = 105.0 + 25.0 * std::sin(kTwoPi * 1.5 * x / W) *
+                         std::cos(kTwoPi * 1.0 * y / H);
+  v += ((x / 16 + y / 16) % 2 == 0) ? 10.0 : -10.0;
+
+  // Bimodal flicker (hard switch between two levels, period 9 frames).
+  for (const Region& r : flicker_) {
+    if (x >= r.x && x < r.x + r.w && y >= r.y && y < r.y + r.h) {
+      v += (t % 9 < 4) ? 42.0 : 0.0;
+    }
+  }
+
+  // Waving region: per-column phase makes a traveling oscillation, like
+  // foliage — intensities sweep a band instead of two points.
+  if (config_.waving_region && x >= waving_.x && x < waving_.x + waving_.w &&
+      y >= waving_.y && y < waving_.y + waving_.h) {
+    const double phase = kTwoPi * (x - waving_.x) / 18.0;
+    v += 16.0 * std::sin(kTwoPi * t / 24.0 + phase);
+  }
+
+  // Clustered bimodal texture dynamics. Texture comes in 16-pixel patches
+  // (bushes, water surface, shimmering signage): a patch is textured with
+  // probability texture_fraction, and ~70% of the pixels inside a textured
+  // patch square-wave between two intensity modes with pixel-specific
+  // period and phase. Mode separation (48..79 levels) exceeds the initial
+  // 2.5-sigma match window, so MoG models each mode with its own Gaussian
+  // component — neighbouring pixels then match *different* components at
+  // any instant, which is what makes real scenes divergent for lockstep
+  // SIMT execution while untextured patches stay warp-uniform.
+  if (config_.texture_fraction > 0.0) {
+    const std::uint64_t patch =
+        static_cast<std::uint64_t>(y) * ((config_.width + 15) / 16) + x / 16;
+    const std::uint64_t zp = pixel_hash(config_.seed, patch);
+    if (static_cast<double>(zp & 0xffff) / 65536.0 <
+        config_.texture_fraction) {
+      const std::uint64_t pix =
+          static_cast<std::uint64_t>(y) * config_.width + x;
+      const std::uint64_t z = pixel_hash(config_.seed ^ 0xabcdu, pix);
+      if ((z & 0xff) < 230) {  // ~90% of lanes inside the patch
+        const int amp = 48 + static_cast<int>((z >> 16) & 0x1f);    // 48..79
+        const int period = 7 + static_cast<int>((z >> 24) & 0x1f);  // 7..38
+        const int phase = static_cast<int>((z >> 32) & 0xff);
+        if ((t + phase) % period < (period + 1) / 2) v += amp;
+      }
+    }
+  }
+
+  if (config_.illumination_drift != 0.0) {
+    v += config_.illumination_drift * std::sin(kTwoPi * t / 600.0);
+  }
+  return v;
+}
+
+void SyntheticScene::render(int t, FrameU8* frame, FrameU8* truth) const {
+  MOG_CHECK(t >= 0, "frame index must be non-negative");
+  if (frame != nullptr && !(frame->width() == config_.width &&
+                            frame->height() == config_.height))
+    *frame = FrameU8(config_.width, config_.height);
+  if (truth != nullptr && !(truth->width() == config_.width &&
+                            truth->height() == config_.height))
+    *truth = FrameU8(config_.width, config_.height);
+  if (truth != nullptr) truth->fill(0);
+
+  // Object positions at time t (pure function of t).
+  struct Placed {
+    double cx, cy;
+    const MovingObject* obj;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(objects_.size());
+  for (const MovingObject& o : objects_) {
+    Placed p{};
+    p.cx = reflect(o.x0 + o.vx * t, o.half_w, config_.width - o.half_w);
+    p.cy = reflect(o.y0 + o.vy * t, o.half_h, config_.height - o.half_h);
+    p.obj = &o;
+    placed.push_back(p);
+  }
+
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const std::size_t pix =
+          static_cast<std::size_t>(y) * config_.width + x;
+
+      double v = background_value(x, y, t);
+      bool is_fg = false;
+      for (const Placed& p : placed) {
+        const double dx = (x - p.cx) / p.obj->half_w;
+        const double dy = (y - p.cy) / p.obj->half_h;
+        const bool inside = p.obj->elliptical
+                                ? (dx * dx + dy * dy <= 1.0)
+                                : (std::abs(dx) <= 1.0 && std::abs(dy) <= 1.0);
+        if (inside) {
+          v = p.obj->intensity;
+          is_fg = true;
+        }
+      }
+
+      if (config_.noise_sd > 0.0)
+        v += config_.noise_sd *
+             hash_noise(config_.seed, static_cast<std::uint64_t>(t), pix);
+
+      if (frame != nullptr) (*frame)[pix] = saturate_u8(v);
+      if (truth != nullptr && is_fg) (*truth)[pix] = 255;
+    }
+  }
+}
+
+FrameU8 SyntheticScene::frame(int t) const {
+  FrameU8 f;
+  render(t, &f, nullptr);
+  return f;
+}
+
+FrameU8 SyntheticScene::truth(int t) const {
+  FrameU8 m;
+  render(t, nullptr, &m);
+  return m;
+}
+
+FrameU8 SyntheticScene::background_plate(int t) const {
+  FrameU8 f(config_.width, config_.height);
+  for (int y = 0; y < config_.height; ++y)
+    for (int x = 0; x < config_.width; ++x)
+      f.at(x, y) = saturate_u8(background_value(x, y, t));
+  return f;
+}
+
+}  // namespace mog

@@ -1,0 +1,169 @@
+// Unit tests for mog/common: RNG determinism and statistics, Image
+// container semantics, string utilities, error handling macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mog/common/error.hpp"
+#include "mog/common/image.hpp"
+#include "mog/common/rng.hpp"
+#include "mog/common/strutil.hpp"
+
+namespace mog {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{11};
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BoundedDrawIsUnbiasedAndInRange) {
+  Rng rng{13};
+  int counts[7] = {};
+  for (int i = 0; i < 70000; ++i) {
+    const std::uint32_t v = rng.uniform_u32(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+  EXPECT_THROW(rng.uniform_u32(0), Error);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm{0};
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2{0};
+  EXPECT_EQ(first, sm2.next());
+  EXPECT_NE(first, sm.next());
+}
+
+TEST(Image, ConstructionAndFill) {
+  Image<int> img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(img[i], 7);
+  img.fill(2);
+  EXPECT_EQ(img.at(3, 2), 2);
+}
+
+TEST(Image, RowMajorAddressing) {
+  Image<int> img(5, 4);
+  img.at(2, 3) = 42;
+  EXPECT_EQ(img[3 * 5 + 2], 42);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image<int>(0, 3), Error);
+  EXPECT_THROW(Image<int>(3, -1), Error);
+}
+
+TEST(Image, EqualityAndShape) {
+  Image<int> a(3, 3, 1), b(3, 3, 1), c(3, 2, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+  b.at(1, 1) = 9;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Image, SaturateU8) {
+  EXPECT_EQ(saturate_u8(-5.0), 0);
+  EXPECT_EQ(saturate_u8(0.4), 0);
+  EXPECT_EQ(saturate_u8(0.6), 1);
+  EXPECT_EQ(saturate_u8(254.9), 255);
+  EXPECT_EQ(saturate_u8(300.0), 255);
+}
+
+TEST(Image, RoundTripConversions) {
+  FrameU8 f(3, 2);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f[i] = static_cast<std::uint8_t>(40 * i);
+  const Image<double> d = to_real<double>(f);
+  const FrameU8 back = to_u8(d);
+  EXPECT_EQ(f, back);
+}
+
+TEST(Strutil, Printf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f", 1.005), "1.00");
+}
+
+TEST(Strutil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(46080), "45.0 KB");
+  EXPECT_EQ(human_bytes(1.5 * 1024 * 1024), "1.5 MB");
+}
+
+TEST(Strutil, Percent) {
+  EXPECT_EQ(percent(0.783), "78.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    MOG_CHECK(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("impossible arithmetic"),
+              std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertMacroActiveInAllBuilds) {
+  EXPECT_THROW(MOG_ASSERT(false, "invariant"), Error);
+}
+
+}  // namespace
+}  // namespace mog

@@ -1,0 +1,164 @@
+// Property-style sweep over the full kernel configuration space:
+// every optimization level x precision x component count (plus tiled
+// variants), each checked against the matching CPU reference for decision
+// agreement and model sanity. This is the broad net behind the targeted
+// tests in test_kernels.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mog/cpu/serial_mog.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/pipeline/gpu_pipeline.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+constexpr int kW = 64, kH = 32, kFrames = 12;
+
+using SweepParam =
+    std::tuple<kernels::OptLevel, bool /*float*/, int /*components*/>;
+
+class KernelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+template <typename T>
+void run_sweep(kernels::OptLevel level, int components) {
+  SceneConfig sc;
+  sc.width = kW;
+  sc.height = kH;
+  sc.seed = 1234;
+  const SyntheticScene scene{sc};
+
+  MogParams params;
+  params.num_components = components;
+
+  typename GpuMogPipeline<T>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.params = params;
+  cfg.level = level;
+  GpuMogPipeline<T> gpu{cfg};
+  SerialMog<T> cpu{kW, kH, params};
+
+  FrameU8 cpu_fg, gpu_fg;
+  double disagreement = 0;
+  for (int t = 0; t < kFrames; ++t) {
+    const FrameU8 f = scene.frame(t);
+    cpu.apply(f, cpu_fg);
+    ASSERT_TRUE(gpu.process(f, gpu_fg));
+    if (t >= 4) disagreement += mask_disagreement(cpu_fg, gpu_fg);
+  }
+  // Decisions track the same-precision CPU reference closely for every
+  // configuration (F's diff rewrite flips a small fraction; others are
+  // near-exact).
+  EXPECT_LT(disagreement / (kFrames - 4), 0.02);
+
+  // Model state remains sane.
+  const MogModel<T> m = gpu.model();
+  for (std::size_t p = 0; p < m.num_pixels(); p += 3) {
+    T sum{};
+    for (int k = 0; k < components; ++k) {
+      ASSERT_TRUE(std::isfinite(static_cast<double>(m.weight(p, k))));
+      ASSERT_TRUE(std::isfinite(static_cast<double>(m.mean(p, k))));
+      ASSERT_GE(m.sd(p, k), static_cast<T>(params.min_sd) - T(1e-5));
+      sum += m.weight(p, k);
+    }
+    ASSERT_NEAR(static_cast<double>(sum), 1.0, 1e-5);
+  }
+
+  // Profiler counters are populated and self-consistent.
+  const auto stats = gpu.per_frame_stats();
+  EXPECT_GT(stats.issue_cycles, 0u);
+  EXPECT_GT(stats.load_transactions, 0u);
+  EXPECT_GT(stats.branches_executed, stats.branches_divergent);
+  EXPECT_GT(gpu.occupancy().achieved, 0.05);
+  EXPECT_GT(gpu.modeled_seconds(), 0.0);
+}
+
+TEST_P(KernelSweep, TracksCpuReferenceAndStaysSane) {
+  const auto [level, use_float, components] = GetParam();
+  if (use_float)
+    run_sweep<float>(level, components);
+  else
+    run_sweep<double>(level, components);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, KernelSweep,
+    ::testing::Combine(::testing::ValuesIn(kernels::kAllLevels),
+                       ::testing::Bool(), ::testing::Values(3, 5)),
+    [](const auto& suite_info) {
+      return std::string(kernels::to_string(std::get<0>(suite_info.param))) +
+             (std::get<1>(suite_info.param) ? "_f32_K" : "_f64_K") +
+             std::to_string(std::get<2>(suite_info.param));
+    });
+
+// Tiled sweep: precision x component count at a fixed group size.
+using TiledParam = std::tuple<bool /*float*/, int /*components*/>;
+class TiledSweep : public ::testing::TestWithParam<TiledParam> {};
+
+template <typename T>
+void run_tiled_sweep(int components) {
+  SceneConfig sc;
+  sc.width = kW;
+  sc.height = kH;
+  sc.seed = 77;
+  const SyntheticScene scene{sc};
+
+  MogParams params;
+  params.num_components = components;
+
+  typename GpuMogPipeline<T>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.params = params;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 4;
+  cfg.tiled_config.tile_pixels = 64;
+  GpuMogPipeline<T> gpu{cfg};
+  SerialMog<T> cpu{kW, kH, params};
+
+  FrameU8 cpu_fg, gpu_fg;
+  std::vector<FrameU8> cpu_masks;
+  for (int t = 0; t < 8; ++t) {
+    const FrameU8 f = scene.frame(t);
+    cpu.apply(f, cpu_fg);
+    cpu_masks.push_back(cpu_fg);
+    gpu.process(f, gpu_fg);
+  }
+  // Two complete groups: compare the final group's masks.
+  const auto& masks = gpu.last_group_masks();
+  ASSERT_EQ(masks.size(), 4u);
+  double disagreement = 0;
+  for (int i = 0; i < 4; ++i)
+    disagreement +=
+        mask_disagreement(masks[static_cast<std::size_t>(i)],
+                          cpu_masks[static_cast<std::size_t>(4 + i)]);
+  EXPECT_LT(disagreement / 4, 0.02);
+  EXPECT_EQ(gpu.per_frame_stats().shared_bytes_per_block,
+            3u * 64 * static_cast<unsigned>(components) * sizeof(T));
+}
+
+TEST_P(TiledSweep, TracksCpuReference) {
+  const auto [use_float, components] = GetParam();
+  if (use_float)
+    run_tiled_sweep<float>(components);
+  else
+    run_tiled_sweep<double>(components);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionByComponents, TiledSweep,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(3, 5)),
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param) ? "f32_K" : "f64_K") +
+             std::to_string(std::get<1>(suite_info.param));
+    });
+
+}  // namespace
+}  // namespace mog

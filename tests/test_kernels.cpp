@@ -1,0 +1,385 @@
+// Tests for the MoG device kernels: functional equivalence against the CPU
+// reference across all optimization levels, the mechanistic counter
+// relationships the paper's figures rest on, device-state round trips, and
+// the tiled kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mog/cpu/serial_mog.hpp"
+#include "mog/cpu/simd_mog.hpp"
+#include "mog/kernels/mog_kernels.hpp"
+#include "mog/kernels/tiled_kernel.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+using kernels::DeviceMogState;
+using kernels::OptLevel;
+using kernels::ParamLayout;
+
+constexpr int kW = 64, kH = 48;
+
+SceneConfig scene_config() {
+  SceneConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.seed = 77;
+  return cfg;
+}
+
+struct GpuRun {
+  gpusim::Device device;
+  std::unique_ptr<DeviceMogState<double>> state;
+  gpusim::DevSpan<std::uint8_t> frame_buf, fg_buf;
+  TypedMogParams<double> tp;
+  OptLevel level;
+
+  explicit GpuRun(OptLevel lvl, const MogParams& params = {})
+      : tp(TypedMogParams<double>::from(params)), level(lvl) {
+    state = std::make_unique<DeviceMogState<double>>(
+        device, kW, kH, params,
+        kernels::uses_aos_layout(lvl) ? ParamLayout::kAoS
+                                      : ParamLayout::kSoA);
+    frame_buf = device.memory().alloc<std::uint8_t>(state->num_pixels());
+    fg_buf = device.memory().alloc<std::uint8_t>(state->num_pixels());
+  }
+
+  gpusim::KernelStats step(const FrameU8& frame, FrameU8& fg) {
+    gpusim::copy_to_device(frame_buf, frame.data(), frame.size());
+    auto stats = kernels::launch_mog_frame<double>(device, *state, frame_buf,
+                                                   fg_buf, tp, level);
+    if (!fg.same_shape(frame)) fg = FrameU8(kW, kH);
+    gpusim::copy_from_device(fg.data(), fg_buf, fg.size());
+    return stats;
+  }
+};
+
+class KernelLevels : public ::testing::TestWithParam<OptLevel> {};
+
+TEST_P(KernelLevels, MasksTrackCpuReference) {
+  const OptLevel level = GetParam();
+  const SyntheticScene scene{scene_config()};
+  SerialMog<double> cpu{kW, kH};
+  GpuRun gpu{level};
+  FrameU8 cpu_fg, gpu_fg;
+  double disagreement = 0;
+  for (int t = 0; t < 20; ++t) {
+    const FrameU8 f = scene.frame(t);
+    cpu.apply(f, cpu_fg);
+    gpu.step(f, gpu_fg);
+    if (t >= 5) disagreement += mask_disagreement(cpu_fg, gpu_fg);
+  }
+  // Kernels use fused multiply-add and (for F) a rewritten diff; decisions
+  // may flip only on a small fraction of threshold-straddling pixels.
+  EXPECT_LT(disagreement / 15, 0.02) << kernels::to_string(level);
+}
+
+TEST_P(KernelLevels, ModelStateStaysFiniteAndNormalized) {
+  const OptLevel level = GetParam();
+  const SyntheticScene scene{scene_config()};
+  GpuRun gpu{level};
+  FrameU8 fg;
+  for (int t = 0; t < 10; ++t) gpu.step(scene.frame(t), fg);
+  const MogModel<double> m = gpu.state->download(MogParams{});
+  for (std::size_t p = 0; p < m.num_pixels(); ++p) {
+    double sum = 0;
+    for (int k = 0; k < m.num_components(); ++k) {
+      ASSERT_TRUE(std::isfinite(m.weight(p, k)));
+      ASSERT_TRUE(std::isfinite(m.mean(p, k)));
+      ASSERT_TRUE(std::isfinite(m.sd(p, k)));
+      sum += m.weight(p, k);
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(KernelLevels, StaticBackgroundConverges) {
+  SceneConfig cfg = scene_config();
+  cfg.num_objects = 0;
+  cfg.texture_fraction = 0.0;
+  cfg.flicker_regions = false;
+  cfg.waving_region = false;
+  const SyntheticScene scene{cfg};
+  GpuRun gpu{GetParam()};
+  FrameU8 fg;
+  for (int t = 0; t < 25; ++t) gpu.step(scene.frame(t), fg);
+  std::size_t n_fg = 0;
+  for (std::size_t i = 0; i < fg.size(); ++i) n_fg += (fg[i] != 0);
+  EXPECT_LT(static_cast<double>(n_fg) / static_cast<double>(fg.size()), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, KernelLevels,
+                         ::testing::ValuesIn(kernels::kAllLevels),
+                         [](const auto& suite_info) {
+                           return std::string{kernels::to_string(suite_info.param)};
+                         });
+
+TEST(KernelVariants, BandCProduceIdenticalOutputAndCounters) {
+  // C differs from B only in the transfer schedule; the kernel is the same.
+  const SyntheticScene scene{scene_config()};
+  GpuRun b{OptLevel::kB}, c{OptLevel::kC};
+  FrameU8 fg_b, fg_c;
+  for (int t = 0; t < 6; ++t) {
+    const FrameU8 f = scene.frame(t);
+    const auto sb = b.step(f, fg_b);
+    const auto sc = c.step(f, fg_c);
+    ASSERT_EQ(fg_b, fg_c);
+    ASSERT_EQ(sb.issue_cycles, sc.issue_cycles);
+    ASSERT_EQ(sb.total_transactions(), sc.total_transactions());
+  }
+}
+
+TEST(KernelVariants, AosAndSoaAgreeFunctionally) {
+  const SyntheticScene scene{scene_config()};
+  GpuRun a{OptLevel::kA}, b{OptLevel::kB};
+  FrameU8 fg_a, fg_b;
+  for (int t = 0; t < 8; ++t) {
+    const FrameU8 f = scene.frame(t);
+    a.step(f, fg_a);
+    b.step(f, fg_b);
+    ASSERT_EQ(fg_a, fg_b) << "layout must not change results, frame " << t;
+  }
+}
+
+/// Accumulate per-frame stats over a few frames of the standard scene.
+gpusim::KernelStats collect(OptLevel level, int frames = 8,
+                            const MogParams& params = {}) {
+  const SyntheticScene scene{scene_config()};
+  GpuRun gpu{level, params};
+  FrameU8 fg;
+  gpusim::KernelStats total;
+  for (int t = 0; t < frames; ++t) total += gpu.step(scene.frame(t), fg);
+  return total.averaged_over(static_cast<std::uint64_t>(frames));
+}
+
+TEST(KernelCounters, CoalescingSlashesTransactions) {
+  // Fig. 6a: the AoS layout inflates both load and store transactions.
+  const auto a = collect(OptLevel::kA);
+  const auto b = collect(OptLevel::kB);
+  EXPECT_GT(a.load_transactions, 5 * b.load_transactions);
+  EXPECT_GT(a.store_transactions, 2 * b.store_transactions);
+  EXPECT_LT(a.memory_access_efficiency(), 0.25);
+  EXPECT_GT(b.memory_access_efficiency(), 0.6);
+}
+
+TEST(KernelCounters, SortRemovalCutsBranches) {
+  // Fig. 7a: D executes fewer branches than C and fewer divergent ones.
+  const auto c = collect(OptLevel::kC);
+  const auto d = collect(OptLevel::kD);
+  EXPECT_LT(d.branches_executed, c.branches_executed);
+  EXPECT_LT(d.branches_divergent, c.branches_divergent);
+}
+
+TEST(KernelCounters, PredicationLiftsBranchEfficiency) {
+  // Fig. 7a: E's branch efficiency approaches 100%.
+  const auto d = collect(OptLevel::kD);
+  const auto e = collect(OptLevel::kE);
+  EXPECT_GT(e.branch_efficiency(), d.branch_efficiency());
+  EXPECT_GT(e.branch_efficiency(), 0.97);
+}
+
+TEST(KernelCounters, PredicationLiftsMemoryEfficiency) {
+  // Fig. 7b: unconditional stores use every fetched byte.
+  const auto d = collect(OptLevel::kD);
+  const auto e = collect(OptLevel::kE);
+  EXPECT_GT(e.memory_access_efficiency(), d.memory_access_efficiency());
+  EXPECT_GT(e.memory_access_efficiency(), 0.9);
+  // Masked stores pay ECC read-modify-write; predicated full-warp stores
+  // avoid almost all of it (only virtual-component writes remain masked).
+  EXPECT_GT(d.rmw_transactions, 5 * e.rmw_transactions);
+}
+
+TEST(KernelCounters, RegisterReductionOrdering) {
+  // §IV-C register story: the sorted variants are the hungriest, F is the
+  // leanest, E sits above D (predication temporaries).
+  const auto b = collect(OptLevel::kB);
+  const auto d = collect(OptLevel::kD);
+  const auto e = collect(OptLevel::kE);
+  const auto f = collect(OptLevel::kF);
+  EXPECT_GE(b.regs_per_thread, d.regs_per_thread);
+  EXPECT_GT(e.regs_per_thread, f.regs_per_thread);
+  EXPECT_LE(f.regs_per_thread, d.regs_per_thread);
+}
+
+TEST(KernelCounters, FiveGaussiansCostMore) {
+  MogParams p5;
+  p5.num_components = 5;
+  const auto k3 = collect(OptLevel::kF);
+  const auto k5 = collect(OptLevel::kF, 8, p5);
+  EXPECT_GT(k5.issue_cycles, k3.issue_cycles);
+  EXPECT_GT(k5.regs_per_thread, k3.regs_per_thread);
+  EXPECT_GT(k5.bytes_transferred(), k3.bytes_transferred());
+}
+
+TEST(KernelCounters, WarpsCoverEveryPixel) {
+  const auto f = collect(OptLevel::kF, 1);
+  EXPECT_EQ(f.num_warps, (kW * kH + 31) / 32);
+  EXPECT_EQ(f.threads_per_block, 128);
+}
+
+TEST(DeviceState, UploadDownloadRoundTripBothLayouts) {
+  for (const ParamLayout layout : {ParamLayout::kAoS, ParamLayout::kSoA}) {
+    gpusim::Device dev;
+    MogParams params;
+    DeviceMogState<double> state{dev, 16, 8, params, layout};
+    MogModel<double> m{16, 8, params};
+    for (std::size_t p = 0; p < m.num_pixels(); ++p)
+      for (int k = 0; k < m.num_components(); ++k) {
+        m.weight(p, k) = 0.1 + static_cast<double>(k);
+        m.mean(p, k) = static_cast<double>(p % 251);
+        m.sd(p, k) = 5.0 + k;
+      }
+    state.upload(m);
+    const MogModel<double> back = state.download(params);
+    for (std::size_t p = 0; p < m.num_pixels(); ++p)
+      for (int k = 0; k < m.num_components(); ++k) {
+        ASSERT_EQ(back.weight(p, k), m.weight(p, k));
+        ASSERT_EQ(back.mean(p, k), m.mean(p, k));
+        ASSERT_EQ(back.sd(p, k), m.sd(p, k));
+      }
+  }
+}
+
+TEST(DeviceState, LevelLayoutMismatchIsRejected) {
+  gpusim::Device dev;
+  MogParams params;
+  DeviceMogState<double> soa{dev, 16, 8, params, ParamLayout::kSoA};
+  auto frame = dev.memory().alloc<std::uint8_t>(128);
+  auto fg = dev.memory().alloc<std::uint8_t>(128);
+  const auto tp = TypedMogParams<double>::from(params);
+  EXPECT_THROW(kernels::launch_mog_frame<double>(dev, soa, frame, fg, tp,
+                                                 OptLevel::kA),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Tiled kernel
+// ---------------------------------------------------------------------------
+
+struct TiledRun {
+  gpusim::Device device;
+  std::unique_ptr<DeviceMogState<double>> state;
+  std::vector<gpusim::DevSpan<std::uint8_t>> frames, fgs;
+  TypedMogParams<double> tp;
+  kernels::TiledConfig cfg;
+
+  explicit TiledRun(int group, int tile = 64)
+      : tp(TypedMogParams<double>::from(MogParams{})) {
+    cfg.frame_group = group;
+    cfg.tile_pixels = tile;
+    state = std::make_unique<DeviceMogState<double>>(
+        device, kW, kH, MogParams{}, ParamLayout::kSoA);
+    for (int i = 0; i < group; ++i) {
+      frames.push_back(device.memory().alloc<std::uint8_t>(kW * kH));
+      fgs.push_back(device.memory().alloc<std::uint8_t>(kW * kH));
+    }
+  }
+
+  gpusim::KernelStats run_group(const SyntheticScene& scene, int t0, int g) {
+    for (int i = 0; i < g; ++i) {
+      const FrameU8 f = scene.frame(t0 + i);
+      gpusim::copy_to_device(frames[static_cast<std::size_t>(i)], f.data(),
+                             f.size());
+    }
+    return kernels::launch_tiled_group<double>(
+        device, *state,
+        std::span<const gpusim::DevSpan<std::uint8_t>>{frames.data(),
+                                                       std::size_t(g)},
+        std::span<const gpusim::DevSpan<std::uint8_t>>{fgs.data(),
+                                                       std::size_t(g)},
+        tp, cfg);
+  }
+
+  FrameU8 mask(int i) const {
+    FrameU8 m(kW, kH);
+    gpusim::copy_from_device(m.data(), fgs[static_cast<std::size_t>(i)],
+                             m.size());
+    return m;
+  }
+};
+
+TEST(TiledKernel, MatchesUntiledVariantFClosely) {
+  const SyntheticScene scene{scene_config()};
+  GpuRun f_run{OptLevel::kF};
+  TiledRun tiled{4};
+  FrameU8 fg_f;
+  double disagreement = 0;
+  for (int t0 = 0; t0 < 16; t0 += 4) {
+    tiled.run_group(scene, t0, 4);
+    for (int i = 0; i < 4; ++i) {
+      f_run.step(scene.frame(t0 + i), fg_f);
+      if (t0 + i >= 4) disagreement += mask_disagreement(fg_f, tiled.mask(i));
+    }
+  }
+  EXPECT_LT(disagreement / 12, 0.01);
+}
+
+TEST(TiledKernel, GroupSizeOneMatchesGroupSizeFourResults) {
+  const SyntheticScene scene{scene_config()};
+  TiledRun g1{1}, g4{4};
+  for (int t = 0; t < 8; ++t) g1.run_group(scene, t, 1);
+  for (int t0 = 0; t0 < 8; t0 += 4) g4.run_group(scene, t0, 4);
+  // Model state must be identical: the grouping changes scheduling, not math.
+  const MogModel<double> m1 = g1.state->download(MogParams{});
+  const MogModel<double> m4 = g4.state->download(MogParams{});
+  for (std::size_t i = 0; i < m1.weights().size(); ++i) {
+    ASSERT_EQ(m1.weights()[i], m4.weights()[i]);
+    ASSERT_EQ(m1.means()[i], m4.means()[i]);
+    ASSERT_EQ(m1.sds()[i], m4.sds()[i]);
+  }
+}
+
+TEST(TiledKernel, SharedFootprintAndOccupancy) {
+  const SyntheticScene scene{scene_config()};
+  TiledRun tiled{2, /*tile=*/64};
+  const auto stats = tiled.run_group(scene, 0, 2);
+  // 3 arrays x tile x K x sizeof(double)
+  EXPECT_EQ(stats.shared_bytes_per_block, 3u * 64 * 3 * sizeof(double));
+  EXPECT_GT(stats.shared_accesses, 0u);
+}
+
+TEST(TiledKernel, LargerGroupsAmortizeParameterTraffic) {
+  const SyntheticScene scene{scene_config()};
+  TiledRun g1{1}, g8{8};
+  gpusim::KernelStats s1, s8;
+  for (int t = 0; t < 8; ++t) s1 += g1.run_group(scene, t, 1);
+  s8 = g8.run_group(scene, 0, 8);
+  // Same 8 frames of work: the grouped run must move far fewer bytes.
+  EXPECT_LT(s8.bytes_transferred(), s1.bytes_transferred() / 3);
+}
+
+TEST(TiledKernel, PartialTrailingGroupWorks) {
+  const SyntheticScene scene{scene_config()};
+  TiledRun tiled{8};
+  const auto stats = tiled.run_group(scene, 0, 3);  // partial group of 3
+  EXPECT_GT(stats.issue_cycles, 0u);
+  FrameU8 m = tiled.mask(2);
+  EXPECT_EQ(m.width(), kW);
+}
+
+TEST(TiledKernel, ValidatesConfiguration) {
+  gpusim::Device dev;
+  MogParams params;
+  DeviceMogState<double> state{dev, 16, 8, params, ParamLayout::kSoA};
+  const auto tp = TypedMogParams<double>::from(params);
+  kernels::TiledConfig cfg;
+  cfg.tile_pixels = 33;  // not a warp multiple
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  std::vector<gpusim::DevSpan<std::uint8_t>> none;
+  EXPECT_THROW(kernels::launch_tiled_group<double>(
+                   dev, state,
+                   std::span<const gpusim::DevSpan<std::uint8_t>>{},
+                   std::span<const gpusim::DevSpan<std::uint8_t>>{}, tp, cfg),
+               Error);
+}
+
+}  // namespace
+}  // namespace mog

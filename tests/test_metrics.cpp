@@ -1,0 +1,203 @@
+// Tests for the quality metrics: image ops, SSIM, MS-SSIM, confusion
+// counts. SSIM properties follow Wang et al.: identity → 1, symmetric,
+// degraded inputs score lower, and heavier degradation scores lower still.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mog/common/rng.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/metrics/image_ops.hpp"
+#include "mog/metrics/ssim.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+Image<double> test_image(int w = 96, int h = 96, std::uint64_t seed = 3) {
+  SceneConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.seed = seed;
+  const SyntheticScene scene{cfg};
+  return to_real<double>(scene.frame(0));
+}
+
+Image<double> add_noise(const Image<double>& src, double sd,
+                        std::uint64_t seed = 1) {
+  Rng rng{seed};
+  Image<double> out = src;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::clamp(out[i] + rng.normal(0.0, sd), 0.0, 255.0);
+  }
+  return out;
+}
+
+TEST(ImageOps, BlurPreservesConstantImage) {
+  Image<double> img(32, 32, 100.0);
+  const Image<double> blurred = gaussian_blur_ssim(img);
+  for (std::size_t i = 0; i < blurred.size(); ++i)
+    ASSERT_NEAR(blurred[i], 100.0, 1e-9);
+}
+
+TEST(ImageOps, BlurReducesVariance) {
+  const Image<double> img = add_noise(Image<double>(64, 64, 128.0), 20.0);
+  const Image<double> blurred = gaussian_blur_ssim(img);
+  const double m0 = mean(img);
+  double var0 = 0, var1 = 0;
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    var0 += (img[i] - m0) * (img[i] - m0);
+    var1 += (blurred[i] - m0) * (blurred[i] - m0);
+  }
+  EXPECT_LT(var1, var0 * 0.3);
+}
+
+TEST(ImageOps, DownsampleHalvesDimensions) {
+  const Image<double> img = test_image(64, 48);
+  const Image<double> half = downsample2(img);
+  EXPECT_EQ(half.width(), 32);
+  EXPECT_EQ(half.height(), 24);
+}
+
+TEST(ImageOps, DownsampleAveragesBlocks) {
+  Image<double> img(4, 2);
+  img.at(0, 0) = 0;
+  img.at(1, 0) = 4;
+  img.at(0, 1) = 8;
+  img.at(1, 1) = 12;
+  const Image<double> half = downsample2(img);
+  EXPECT_DOUBLE_EQ(half.at(0, 0), 6.0);
+}
+
+TEST(ImageOps, MseAndPsnr) {
+  const Image<double> a = test_image();
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+  Image<double> b = a;
+  b[0] += 10.0;
+  EXPECT_GT(mse(a, b), 0.0);
+  EXPECT_LT(psnr(a, b), 100.0);
+}
+
+TEST(Ssim, IdentityIsOne) {
+  const Image<double> a = test_image();
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(ms_ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Ssim, Symmetric) {
+  const Image<double> a = test_image(96, 96, 1);
+  const Image<double> b = add_noise(a, 12.0);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, BoundedAndMonotoneInDegradation) {
+  const Image<double> a = test_image();
+  const Image<double> mild = add_noise(a, 6.0);
+  const Image<double> heavy = add_noise(a, 40.0);
+  const double s_mild = ssim(a, mild);
+  const double s_heavy = ssim(a, heavy);
+  EXPECT_LT(s_heavy, s_mild);
+  EXPECT_LT(s_mild, 1.0);
+  EXPECT_GT(s_heavy, -1.0);
+}
+
+TEST(Ssim, InsensitiveToSmallLuminanceShiftComparedToMse) {
+  // SSIM's hallmark: a global brightness shift hurts much less than the
+  // same MSE spent on structural noise.
+  const Image<double> a = test_image();
+  Image<double> shifted = a;
+  for (std::size_t i = 0; i < shifted.size(); ++i)
+    shifted[i] = std::clamp(shifted[i] + 8.0, 0.0, 255.0);
+  const Image<double> noisy = add_noise(a, 8.0);
+  EXPECT_GT(ssim(a, shifted), ssim(a, noisy));
+}
+
+TEST(MsSsim, MonotoneInDegradation) {
+  const Image<double> a = test_image(192, 192);
+  const double m1 = ms_ssim(a, add_noise(a, 5.0));
+  const double m2 = ms_ssim(a, add_noise(a, 25.0));
+  EXPECT_LT(m2, m1);
+  EXPECT_LT(m1, 1.0);
+  EXPECT_GE(m2, 0.0);
+}
+
+TEST(MsSsim, WorksOnBinaryMasks) {
+  // Table IV compares binary foreground masks; flipping a small patch
+  // should cost a little, flipping a lot should cost a lot.
+  FrameU8 ref(96, 96, 0);
+  for (int y = 30; y < 60; ++y)
+    for (int x = 30; x < 60; ++x) ref.at(x, y) = 255;
+  FrameU8 close = ref;
+  for (int y = 30; y < 34; ++y)
+    for (int x = 30; x < 34; ++x) close.at(x, y) = 0;
+  FrameU8 far = ref;
+  for (int y = 30; y < 60; ++y)
+    for (int x = 30; x < 45; ++x) far.at(x, y) = 0;
+  const double s_close = ms_ssim(close, ref);
+  const double s_far = ms_ssim(far, ref);
+  EXPECT_GT(s_close, s_far);
+  EXPECT_GT(s_close, 0.9);
+}
+
+TEST(MsSsim, ScaleReductionForSmallImages) {
+  // 32x32 only fits 2 dyadic scales; must not throw and must stay sane.
+  const Image<double> a = test_image(32, 32);
+  const double m = ms_ssim(a, add_noise(a, 10.0));
+  EXPECT_GT(m, 0.0);
+  EXPECT_LT(m, 1.0);
+}
+
+TEST(MsSsim, RejectsTinyImages) {
+  const Image<double> a(8, 8, 1.0);
+  EXPECT_THROW(ms_ssim(a, a), Error);
+}
+
+TEST(Ssim, RejectsShapeMismatch) {
+  const Image<double> a(32, 32, 1.0), b(32, 16, 1.0);
+  EXPECT_THROW(ssim(a, b), Error);
+}
+
+TEST(Confusion, CountsAndDerivedMetrics) {
+  FrameU8 pred(4, 2, 0), truth(4, 2, 0);
+  pred.at(0, 0) = 255;  // FP
+  pred.at(1, 0) = 255;  // TP
+  truth.at(1, 0) = 255;
+  truth.at(2, 0) = 255;  // FN
+  const ConfusionCounts c = compare_masks(pred, truth);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 5u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+  EXPECT_NEAR(c.iou(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.75);
+}
+
+TEST(Confusion, EmptyMasksAreWellDefined) {
+  FrameU8 a(4, 4, 0), b(4, 4, 0);
+  const ConfusionCounts c = compare_masks(a, b);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(Confusion, Accumulation) {
+  FrameU8 pred(2, 2, 255), truth(2, 2, 255);
+  ConfusionCounts total = compare_masks(pred, truth);
+  total += compare_masks(pred, truth);
+  EXPECT_EQ(total.tp, 8u);
+}
+
+TEST(Confusion, Disagreement) {
+  FrameU8 a(4, 4, 0), b(4, 4, 0);
+  EXPECT_DOUBLE_EQ(mask_disagreement(a, b), 0.0);
+  b.at(0, 0) = 255;
+  b.at(1, 1) = 17;  // any nonzero counts as foreground
+  EXPECT_DOUBLE_EQ(mask_disagreement(a, b), 2.0 / 16.0);
+}
+
+}  // namespace
+}  // namespace mog

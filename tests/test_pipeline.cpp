@@ -1,0 +1,304 @@
+// Tests for the host pipeline, the experiment runner, and the public
+// BackgroundSubtractor facade — the integration layer the benches rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mog/core/background_subtractor.hpp"
+#include "mog/cpu/serial_mog.hpp"
+#include "mog/metrics/confusion.hpp"
+#include "mog/pipeline/experiment.hpp"
+#include "mog/pipeline/gpu_pipeline.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+constexpr int kW = 64, kH = 48;
+
+ExperimentConfig small_experiment(kernels::OptLevel level) {
+  ExperimentConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.frames = 10;
+  cfg.warmup_frames = 4;
+  cfg.level = level;
+  return cfg;
+}
+
+TEST(GpuPipeline, ProcessesFramesAndReportsStats) {
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.level = kernels::OptLevel::kF;
+  GpuMogPipeline<double> pipe{cfg};
+  FrameU8 fg;
+  for (int t = 0; t < 5; ++t) EXPECT_TRUE(pipe.process(scene.frame(t), fg));
+  EXPECT_EQ(pipe.frames_processed(), 5u);
+  EXPECT_EQ(pipe.kernel_launches(), 5u);
+  EXPECT_GT(pipe.per_frame_stats().issue_cycles, 0u);
+  EXPECT_GT(pipe.occupancy().achieved, 0.1);
+  EXPECT_GT(pipe.modeled_seconds(), 0.0);
+}
+
+TEST(GpuPipeline, TiledBuffersUntilGroupCompletes) {
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 4;
+  cfg.tiled_config.tile_pixels = 64;
+  GpuMogPipeline<double> pipe{cfg};
+  FrameU8 fg;
+  EXPECT_FALSE(pipe.process(scene.frame(0), fg));
+  EXPECT_FALSE(pipe.process(scene.frame(1), fg));
+  EXPECT_FALSE(pipe.process(scene.frame(2), fg));
+  EXPECT_TRUE(pipe.process(scene.frame(3), fg));
+  EXPECT_EQ(pipe.last_group_masks().size(), 4u);
+  EXPECT_EQ(pipe.kernel_launches(), 1u);
+
+  // Partial group drains through flush().
+  EXPECT_FALSE(pipe.process(scene.frame(4), fg));
+  std::vector<FrameU8> rest;
+  EXPECT_EQ(pipe.flush(rest), 1);
+  EXPECT_EQ(rest.size(), 1u);
+  EXPECT_EQ(pipe.flush(rest), 0);  // idempotent
+}
+
+TEST(GpuPipeline, TiledRequiresLevelF) {
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.tiled = true;
+  cfg.level = kernels::OptLevel::kB;
+  EXPECT_THROW(GpuMogPipeline<double>{cfg}, Error);
+}
+
+TEST(GpuPipeline, OverlapReducesModeledTime) {
+  // Same kernel, different schedule: C (overlapped) must beat B.
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  auto run = [&](kernels::OptLevel level) {
+    GpuMogPipeline<double>::Config cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.level = level;
+    GpuMogPipeline<double> pipe{cfg};
+    FrameU8 fg;
+    for (int t = 0; t < 4; ++t) pipe.process(scene.frame(t), fg);
+    return pipe.modeled_seconds(450);
+  };
+  EXPECT_LT(run(kernels::OptLevel::kC), run(kernels::OptLevel::kB));
+}
+
+TEST(ScaleStats, LinearInRatio) {
+  gpusim::KernelStats s;
+  s.issue_cycles = 1000;
+  s.load_transactions = 500;
+  s.branches_executed = 100;
+  s.regs_per_thread = 33;
+  s.threads_per_block = 128;
+  const gpusim::KernelStats big = scale_stats(s, 4.0);
+  EXPECT_EQ(big.issue_cycles, 4000u);
+  EXPECT_EQ(big.load_transactions, 2000u);
+  EXPECT_EQ(big.branches_executed, 400u);
+  EXPECT_EQ(big.regs_per_thread, 33);  // resource fields pass through
+}
+
+TEST(Experiment, ProducesConsistentResult) {
+  const ExperimentResult r =
+      run_gpu_experiment(small_experiment(kernels::OptLevel::kF));
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_GT(r.gpu_seconds, 0.0);
+  EXPECT_GT(r.cpu_seconds, r.gpu_seconds);
+  EXPECT_NEAR(r.cpu_seconds_fullhd450, 227.3, 0.1);
+  EXPECT_GT(r.occupancy.achieved, 0.2);
+  EXPECT_GT(r.per_frame.issue_cycles, 0u);
+  EXPECT_LT(r.fg_disagreement, 0.05);
+  EXPECT_GT(r.vs_truth.tp + r.vs_truth.tn + r.vs_truth.fp + r.vs_truth.fn,
+            0u);
+}
+
+TEST(Experiment, SpeedupLadderIsOrdered) {
+  // The paper's headline (Fig. 8a): every optimization step pays off.
+  using kernels::OptLevel;
+  double prev = 0.0;
+  for (const OptLevel level :
+       {OptLevel::kA, OptLevel::kB, OptLevel::kC, OptLevel::kF}) {
+    const ExperimentResult r = run_gpu_experiment(small_experiment(level));
+    EXPECT_GT(r.speedup, prev) << kernels::to_string(level);
+    prev = r.speedup;
+  }
+}
+
+TEST(Experiment, QualityMeasurementProducesMsSsim) {
+  ExperimentConfig cfg = small_experiment(kernels::OptLevel::kB);
+  cfg.measure_quality = true;
+  const ExperimentResult r = run_gpu_experiment(cfg);
+  EXPECT_GT(r.msssim_foreground, 0.9);
+  EXPECT_LE(r.msssim_foreground, 1.0);
+  EXPECT_GT(r.msssim_background, 0.9);
+}
+
+TEST(Experiment, TiledAccountsAllFrames) {
+  ExperimentConfig cfg = small_experiment(kernels::OptLevel::kF);
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 4;
+  cfg.tiled_config.tile_pixels = 64;
+  cfg.frames = 10;  // 2 full groups + partial group of 2
+  const ExperimentResult r = run_gpu_experiment(cfg);
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_LT(r.fg_disagreement, 0.05);
+}
+
+TEST(Experiment, FloatUsesFloatBaseline) {
+  ExperimentConfig cfg = small_experiment(kernels::OptLevel::kF);
+  cfg.precision = Precision::kFloat;
+  const ExperimentResult r = run_gpu_experiment(cfg);
+  EXPECT_NEAR(r.cpu_seconds_fullhd450, 180.0, 0.2);
+}
+
+TEST(Experiment, RejectsDegenerateFrameBudget) {
+  ExperimentConfig cfg = small_experiment(kernels::OptLevel::kF);
+  cfg.frames = cfg.warmup_frames;
+  EXPECT_THROW(run_gpu_experiment(cfg), Error);
+}
+
+// ---------------------------------------------------------------------------
+// BackgroundSubtractor facade
+// ---------------------------------------------------------------------------
+
+TEST(Facade, GpuBackendEndToEnd) {
+  BackgroundSubtractor::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  BackgroundSubtractor bgs{cfg};
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  FrameU8 fg;
+  for (int t = 0; t < 6; ++t) EXPECT_TRUE(bgs.apply(scene.frame(t), fg));
+  const auto profile = bgs.profile();
+  EXPECT_TRUE(profile.available);
+  EXPECT_GT(profile.occupancy.achieved, 0.0);
+  EXPECT_GT(profile.modeled_seconds, 0.0);
+  const FrameU8 bg = bgs.background();
+  EXPECT_EQ(bg.width(), kW);
+}
+
+TEST(Facade, CpuBackendsMatchEachOther) {
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  auto make = [&](BackgroundSubtractor::Backend backend) {
+    BackgroundSubtractor::Config cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.backend = backend;
+    cfg.num_threads = 3;
+    return BackgroundSubtractor{cfg};
+  };
+  auto serial = make(BackgroundSubtractor::Backend::kCpuSerial);
+  auto parallel = make(BackgroundSubtractor::Backend::kCpuParallel);
+  FrameU8 fg_s, fg_p;
+  for (int t = 0; t < 8; ++t) {
+    const FrameU8 f = scene.frame(t);
+    serial.apply(f, fg_s);
+    parallel.apply(f, fg_p);
+    ASSERT_EQ(fg_s, fg_p);
+  }
+  EXPECT_FALSE(serial.profile().available);  // CPU backends: no GPU profile
+}
+
+TEST(Facade, SimdBackendRuns) {
+  BackgroundSubtractor::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.backend = BackgroundSubtractor::Backend::kCpuSimd;
+  cfg.precision = Precision::kFloat;
+  BackgroundSubtractor bgs{cfg};
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  FrameU8 fg;
+  EXPECT_TRUE(bgs.apply(scene.frame(0), fg));
+  EXPECT_EQ(fg.width(), kW);
+}
+
+TEST(Facade, TiledDeliveryContract) {
+  BackgroundSubtractor::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 3;
+  cfg.tiled_config.tile_pixels = 64;
+  BackgroundSubtractor bgs{cfg};
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  FrameU8 fg;
+  EXPECT_FALSE(bgs.apply(scene.frame(0), fg));
+  EXPECT_FALSE(bgs.apply(scene.frame(1), fg));
+  EXPECT_TRUE(bgs.apply(scene.frame(2), fg));
+  std::vector<FrameU8> rest;
+  bgs.apply(scene.frame(3), fg);
+  EXPECT_EQ(bgs.flush(rest), 1);
+}
+
+TEST(Facade, RejectsInvalidConfig) {
+  BackgroundSubtractor::Config cfg;
+  cfg.width = 0;
+  cfg.height = 10;
+  EXPECT_THROW(BackgroundSubtractor{cfg}, Error);
+  cfg.width = 10;
+  cfg.params.alpha = 2.0;
+  EXPECT_THROW(BackgroundSubtractor{cfg}, Error);
+}
+
+TEST(Facade, MoveSemantics) {
+  BackgroundSubtractor::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  BackgroundSubtractor a{cfg};
+  BackgroundSubtractor b{std::move(a)};
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  FrameU8 fg;
+  EXPECT_TRUE(b.apply(scene.frame(0), fg));
+}
+
+}  // namespace
+}  // namespace mog

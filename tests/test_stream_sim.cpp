@@ -1,0 +1,139 @@
+// Tests for the discrete-event pipeline simulator, including the
+// cross-validation of the Fig. 5 closed-form schedules it exists to check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mog/common/error.hpp"
+
+#include "mog/gpusim/stream_sim.hpp"
+
+namespace mog::gpusim {
+namespace {
+
+FrameSchedule sched(double up_ms, double kernel_ms, double down_ms) {
+  FrameSchedule f;
+  f.upload_seconds = up_ms * 1e-3;
+  f.kernel_seconds = kernel_ms * 1e-3;
+  f.download_seconds = down_ms * 1e-3;
+  return f;
+}
+
+TEST(StreamSim, SequentialMatchesClosedFormExactly) {
+  const FrameSchedule f = sched(2, 5, 2);
+  for (const int n : {0, 1, 3, 50}) {
+    const Timeline tl = simulate_sequential(f, n);
+    EXPECT_NEAR(tl.total_seconds, sequential_pipeline_seconds(f, n),
+                1e-12 + 1e-12 * tl.total_seconds);
+    EXPECT_EQ(tl.ops.size(), static_cast<std::size_t>(3 * n));
+  }
+}
+
+class OverlapAgreement
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(OverlapAgreement, EventSimMatchesClosedForm) {
+  const auto [up, kernel, down] = GetParam();
+  const FrameSchedule f = sched(up, kernel, down);
+  for (const int n : {1, 2, 5, 40}) {
+    const Timeline tl = simulate_overlapped(f, n);
+    const double closed = overlapped_pipeline_seconds(f, n);
+    // The closed form idealizes steady state; the event simulation includes
+    // every buffer dependency. They must agree to within a couple of frame
+    // periods' worth of pipeline fill.
+    EXPECT_NEAR(tl.total_seconds, closed,
+                0.05 * closed + 2.0 * (f.upload_seconds + f.download_seconds))
+        << "n=" << n << " up=" << up << " kernel=" << kernel;
+    // And the event sim can never beat physics: at least the serialized DMA
+    // work and at least the serialized kernel work.
+    EXPECT_GE(tl.total_seconds,
+              n * (f.upload_seconds + f.download_seconds) - 1e-12);
+    EXPECT_GE(tl.total_seconds, n * f.kernel_seconds - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, OverlapAgreement,
+    ::testing::Values(std::make_tuple(2.0, 8.9, 2.0),   // kernel-bound (B)
+                      std::make_tuple(2.0, 5.2, 2.0),   // kernel-bound (F)
+                      std::make_tuple(4.0, 1.0, 4.0),   // transfer-bound
+                      std::make_tuple(3.0, 6.0, 3.0),   // balanced
+                      std::make_tuple(0.1, 10.0, 0.1)), // transfers trivial
+    [](const auto& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+TEST(StreamSim, OverlappedNeverSlowerThanSequential) {
+  for (const double kernel_ms : {1.0, 4.0, 10.0}) {
+    const FrameSchedule f = sched(2, kernel_ms, 2);
+    EXPECT_LE(simulate_overlapped(f, 20).total_seconds,
+              simulate_sequential(f, 20).total_seconds + 1e-12);
+  }
+}
+
+TEST(StreamSim, DependenciesAreRespected) {
+  const FrameSchedule f = sched(2, 5, 2);
+  const Timeline tl = simulate_overlapped(f, 6);
+  double upload_end[6] = {}, kernel_end[6] = {}, kernel_start[6] = {},
+         down_start[6] = {};
+  for (const TimelineOp& op : tl.ops) {
+    if (op.kind[0] == 'u') upload_end[op.frame] = op.end_seconds;
+    if (op.kind[0] == 'k') {
+      kernel_start[op.frame] = op.start_seconds;
+      kernel_end[op.frame] = op.end_seconds;
+    }
+    if (op.kind[0] == 'd') down_start[op.frame] = op.start_seconds;
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GE(kernel_start[i], upload_end[i] - 1e-12) << i;
+    EXPECT_GE(down_start[i], kernel_end[i] - 1e-12) << i;
+  }
+}
+
+TEST(StreamSim, SingleDmaEngineSerializesTransfers) {
+  const FrameSchedule f = sched(3, 1, 3);  // transfer-heavy
+  const Timeline tl = simulate_overlapped(f, 10);
+  // Collect DMA intervals and verify no overlap.
+  std::vector<std::pair<double, double>> dma;
+  for (const TimelineOp& op : tl.ops)
+    if (op.engine == TimelineOp::Engine::kDma)
+      dma.emplace_back(op.start_seconds, op.end_seconds);
+  std::sort(dma.begin(), dma.end());
+  for (std::size_t i = 1; i < dma.size(); ++i)
+    EXPECT_GE(dma[i].first, dma[i - 1].second - 1e-12);
+}
+
+TEST(StreamSim, SteadyStateKernelsAreBackToBackWhenKernelBound) {
+  const FrameSchedule f = sched(1, 8, 1);
+  const Timeline tl = simulate_overlapped(f, 10);
+  double prev_end = -1;
+  for (const TimelineOp& op : tl.ops) {
+    if (op.engine != TimelineOp::Engine::kKernel || op.frame < 2) continue;
+    if (prev_end >= 0) EXPECT_NEAR(op.start_seconds, prev_end, 1e-9);
+    prev_end = op.end_seconds;
+  }
+}
+
+TEST(StreamSim, AsciiGanttRendersBothRows) {
+  const FrameSchedule f = sched(2, 5, 2);
+  const std::string art = simulate_overlapped(f, 4).ascii(64);
+  EXPECT_NE(art.find("DMA |"), std::string::npos);
+  EXPECT_NE(art.find("KER |"), std::string::npos);
+  EXPECT_NE(art.find('U'), std::string::npos);
+  EXPECT_NE(art.find('K'), std::string::npos);
+  EXPECT_NE(art.find('D'), std::string::npos);
+}
+
+TEST(StreamSim, EmptyAndInvalidInputs) {
+  const FrameSchedule f = sched(1, 1, 1);
+  EXPECT_DOUBLE_EQ(simulate_overlapped(f, 0).total_seconds, 0.0);
+  EXPECT_THROW(simulate_overlapped(f, -1), mog::Error);
+  EXPECT_THROW(simulate_sequential(f, -1), mog::Error);
+  EXPECT_EQ(simulate_sequential(f, 0).ascii(), "(empty timeline)\n");
+}
+
+}  // namespace
+}  // namespace mog::gpusim

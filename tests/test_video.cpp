@@ -1,0 +1,238 @@
+// Tests for the synthetic scene generator and PGM I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "mog/video/pnm_io.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+SceneConfig small_scene() {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 48;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Scene, DeterministicAcrossInstances) {
+  const SyntheticScene a{small_scene()}, b{small_scene()};
+  EXPECT_EQ(a.frame(0), b.frame(0));
+  EXPECT_EQ(a.frame(17), b.frame(17));
+  EXPECT_EQ(a.truth(17), b.truth(17));
+}
+
+TEST(Scene, FramesCanBeGeneratedOutOfOrder) {
+  const SyntheticScene s{small_scene()};
+  const FrameU8 f10 = s.frame(10);
+  s.frame(3);  // interleave another frame
+  EXPECT_EQ(s.frame(10), f10);
+}
+
+TEST(Scene, SeedChangesContent) {
+  SceneConfig cfg = small_scene();
+  const SyntheticScene a{cfg};
+  cfg.seed = 6;
+  const SyntheticScene b{cfg};
+  EXPECT_FALSE(a.frame(0) == b.frame(0));
+}
+
+TEST(Scene, TruthMaskMarksObjects) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 2;
+  const SyntheticScene s{cfg};
+  std::size_t fg = 0;
+  const FrameU8 t0 = s.truth(0);
+  for (std::size_t i = 0; i < t0.size(); ++i) fg += (t0[i] == 255);
+  EXPECT_GT(fg, 0u);
+  EXPECT_LT(fg, t0.size() / 2);  // objects, not the whole frame
+}
+
+TEST(Scene, NoObjectsMeansEmptyTruth) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 0;
+  const SyntheticScene s{cfg};
+  const FrameU8 t = s.truth(12);
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(t[i], 0);
+}
+
+TEST(Scene, ObjectsMove) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 1;
+  cfg.object_speed = 3.0;
+  const SyntheticScene s{cfg};
+  EXPECT_FALSE(s.truth(0) == s.truth(15));
+}
+
+TEST(Scene, TextureCreatesTemporalBimodality) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 0;
+  cfg.noise_sd = 0.0;
+  cfg.texture_fraction = 1.0;
+  const SyntheticScene s{cfg};
+  // Track one textured pixel over time: it should visit exactly two values.
+  int bimodal_pixels = 0;
+  const int probe = 40;
+  std::vector<FrameU8> frames;
+  for (int t = 0; t < probe; ++t) frames.push_back(s.frame(t));
+  for (std::size_t p = 0; p < frames[0].size(); p += 7) {
+    std::set<int> values;
+    for (const auto& f : frames) values.insert(f[p]);
+    if (values.size() == 2) ++bimodal_pixels;
+  }
+  EXPECT_GT(bimodal_pixels, 100);
+}
+
+TEST(Scene, ZeroTextureGivesStaticUntexturedPlate) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 0;
+  cfg.noise_sd = 0.0;
+  cfg.texture_fraction = 0.0;
+  cfg.flicker_regions = false;
+  cfg.waving_region = false;
+  const SyntheticScene s{cfg};
+  EXPECT_EQ(s.frame(2), s.frame(9));
+}
+
+TEST(Scene, NoiseIsZeroMeanish) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 0;
+  cfg.texture_fraction = 0.0;
+  cfg.flicker_regions = false;
+  cfg.waving_region = false;
+  cfg.noise_sd = 5.0;
+  const SyntheticScene noisy{cfg};
+  cfg.noise_sd = 0.0;
+  const SyntheticScene clean{cfg};
+  const FrameU8 n = noisy.frame(3);
+  const FrameU8 c = clean.frame(3);
+  double delta = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i)
+    delta += static_cast<double>(n[i]) - static_cast<double>(c[i]);
+  EXPECT_NEAR(delta / static_cast<double>(n.size()), 0.0, 0.5);
+}
+
+TEST(Scene, BackgroundPlateExcludesObjects) {
+  SceneConfig cfg = small_scene();
+  cfg.num_objects = 4;
+  cfg.noise_sd = 0.0;
+  const SyntheticScene s{cfg};
+  const FrameU8 plate = s.background_plate(0);
+  const FrameU8 frame = s.frame(0);
+  const FrameU8 truth = s.truth(0);
+  int bg_equal = 0, bg_total = 0;
+  for (std::size_t i = 0; i < plate.size(); ++i) {
+    if (truth[i] == 0) {
+      ++bg_total;
+      bg_equal += (plate[i] == frame[i]);
+    }
+  }
+  EXPECT_EQ(bg_equal, bg_total);
+}
+
+TEST(Scene, PresetsAreValidAndDistinct) {
+  const SceneConfig hw = SceneConfig::highway(64, 48);
+  const SceneConfig lb = SceneConfig::lobby(64, 48);
+  const SceneConfig wt = SceneConfig::waving_trees(64, 48);
+  EXPECT_NO_THROW(hw.validate());
+  EXPECT_NO_THROW(lb.validate());
+  EXPECT_NO_THROW(wt.validate());
+  // Statistics differ in the direction the names promise.
+  EXPECT_GT(hw.num_objects, lb.num_objects);
+  EXPECT_GT(hw.object_speed, lb.object_speed);
+  EXPECT_GT(wt.texture_fraction, hw.texture_fraction);
+  EXPECT_LT(lb.texture_fraction, 0.1);
+  // And the rendered frames differ.
+  const SyntheticScene a{hw}, b{lb}, c{wt};
+  EXPECT_FALSE(a.frame(3) == b.frame(3));
+  EXPECT_FALSE(b.frame(3) == c.frame(3));
+}
+
+TEST(Scene, PresetDimensionsRespected) {
+  const SceneConfig hw = SceneConfig::highway(128, 64, 7);
+  EXPECT_EQ(hw.width, 128);
+  EXPECT_EQ(hw.height, 64);
+  EXPECT_EQ(hw.seed, 7u);
+}
+
+TEST(Scene, RejectsBadConfig) {
+  SceneConfig cfg = small_scene();
+  cfg.width = 4;
+  EXPECT_THROW(SyntheticScene{cfg}, Error);
+  cfg = small_scene();
+  cfg.texture_fraction = 1.5;
+  EXPECT_THROW(SyntheticScene{cfg}, Error);
+  cfg = small_scene();
+  cfg.noise_sd = -1.0;
+  EXPECT_THROW(SyntheticScene{cfg}, Error);
+}
+
+TEST(PnmIo, RoundTrip) {
+  const SyntheticScene s{small_scene()};
+  const FrameU8 f = s.frame(4);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_test_roundtrip.pgm")
+          .string();
+  write_pgm(path, f);
+  const FrameU8 back = read_pgm(path);
+  EXPECT_EQ(f, back);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, ReadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_test_garbage.pgm")
+          .string();
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("NOT A PGM", fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(read_pgm(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, ReadRejectsTruncatedPayload) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_test_trunc.pgm")
+          .string();
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("P5\n10 10\n255\n", fp);  // header promises 100 bytes, gives 3
+    std::fputs("abc", fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(read_pgm(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, HandlesCommentsInHeader) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_test_comment.pgm")
+          .string();
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("P5\n# a comment\n2 2\n255\nABCD", fp);
+    std::fclose(fp);
+  }
+  const FrameU8 img = read_pgm(path);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_EQ(img.at(0, 0), 'A');
+  EXPECT_EQ(img.at(1, 1), 'D');
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, MissingFileThrows) {
+  EXPECT_THROW(read_pgm("/nonexistent/dir/file.pgm"), Error);
+}
+
+}  // namespace
+}  // namespace mog
