@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_baselines.dir/bench_cpu_baselines.cpp.o"
+  "CMakeFiles/bench_cpu_baselines.dir/bench_cpu_baselines.cpp.o.d"
+  "bench_cpu_baselines"
+  "bench_cpu_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

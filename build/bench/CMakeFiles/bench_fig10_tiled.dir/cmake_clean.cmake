@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tiled.dir/bench_fig10_tiled.cpp.o"
+  "CMakeFiles/bench_fig10_tiled.dir/bench_fig10_tiled.cpp.o.d"
+  "bench_fig10_tiled"
+  "bench_fig10_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gaussians.dir/bench_fig11_gaussians.cpp.o"
+  "CMakeFiles/bench_fig11_gaussians.dir/bench_fig11_gaussians.cpp.o.d"
+  "bench_fig11_gaussians"
+  "bench_fig11_gaussians.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gaussians.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

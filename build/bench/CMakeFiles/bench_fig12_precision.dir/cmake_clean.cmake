@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_precision.dir/bench_fig12_precision.cpp.o"
+  "CMakeFiles/bench_fig12_precision.dir/bench_fig12_precision.cpp.o.d"
+  "bench_fig12_precision"
+  "bench_fig12_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

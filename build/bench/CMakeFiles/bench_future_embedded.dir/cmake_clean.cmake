@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_embedded.dir/bench_future_embedded.cpp.o"
+  "CMakeFiles/bench_future_embedded.dir/bench_future_embedded.cpp.o.d"
+  "bench_future_embedded"
+  "bench_future_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hwconfig.dir/bench_table1_hwconfig.cpp.o"
+  "CMakeFiles/bench_table1_hwconfig.dir/bench_table1_hwconfig.cpp.o.d"
+  "bench_table1_hwconfig"
+  "bench_table1_hwconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hwconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

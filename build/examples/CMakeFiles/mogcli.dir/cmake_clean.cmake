@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mogcli.dir/mogcli.cpp.o"
+  "CMakeFiles/mogcli.dir/mogcli.cpp.o.d"
+  "mogcli"
+  "mogcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mogcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

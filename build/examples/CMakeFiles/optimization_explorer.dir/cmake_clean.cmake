@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_explorer.dir/optimization_explorer.cpp.o"
+  "CMakeFiles/optimization_explorer.dir/optimization_explorer.cpp.o.d"
+  "optimization_explorer"
+  "optimization_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

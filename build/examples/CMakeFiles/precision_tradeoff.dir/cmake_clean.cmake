@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_tradeoff.dir/precision_tradeoff.cpp.o"
+  "CMakeFiles/precision_tradeoff.dir/precision_tradeoff.cpp.o.d"
+  "precision_tradeoff"
+  "precision_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

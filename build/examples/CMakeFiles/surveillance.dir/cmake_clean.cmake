@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance.dir/surveillance.cpp.o"
+  "CMakeFiles/surveillance.dir/surveillance.cpp.o.d"
+  "surveillance"
+  "surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("mog/common")
+subdirs("mog/video")
+subdirs("mog/cpu")
+subdirs("mog/metrics")
+subdirs("mog/postproc")
+subdirs("mog/gpusim")
+subdirs("mog/kernels")
+subdirs("mog/pipeline")
+subdirs("mog/core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_common.dir/rng.cpp.o"
+  "CMakeFiles/mog_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mog_common.dir/strutil.cpp.o"
+  "CMakeFiles/mog_common.dir/strutil.cpp.o.d"
+  "libmog_common.a"
+  "libmog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

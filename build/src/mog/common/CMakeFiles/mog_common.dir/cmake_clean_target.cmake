@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmog_common.a"
+)

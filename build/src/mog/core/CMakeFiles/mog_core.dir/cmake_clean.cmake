@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_core.dir/background_subtractor.cpp.o"
+  "CMakeFiles/mog_core.dir/background_subtractor.cpp.o.d"
+  "libmog_core.a"
+  "libmog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

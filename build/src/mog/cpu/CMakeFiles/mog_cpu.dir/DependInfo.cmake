@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mog/cpu/adaptive_mog.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/adaptive_mog.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/adaptive_mog.cpp.o.d"
+  "/root/repo/src/mog/cpu/cost_model.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/cost_model.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mog/cpu/model_io.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/model_io.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/model_io.cpp.o.d"
+  "/root/repo/src/mog/cpu/parallel_mog.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/parallel_mog.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/parallel_mog.cpp.o.d"
+  "/root/repo/src/mog/cpu/serial_mog.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/serial_mog.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/serial_mog.cpp.o.d"
+  "/root/repo/src/mog/cpu/simd_mog.cpp" "src/mog/cpu/CMakeFiles/mog_cpu.dir/simd_mog.cpp.o" "gcc" "src/mog/cpu/CMakeFiles/mog_cpu.dir/simd_mog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

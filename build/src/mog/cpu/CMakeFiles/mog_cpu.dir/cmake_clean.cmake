@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_cpu.dir/adaptive_mog.cpp.o"
+  "CMakeFiles/mog_cpu.dir/adaptive_mog.cpp.o.d"
+  "CMakeFiles/mog_cpu.dir/cost_model.cpp.o"
+  "CMakeFiles/mog_cpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mog_cpu.dir/model_io.cpp.o"
+  "CMakeFiles/mog_cpu.dir/model_io.cpp.o.d"
+  "CMakeFiles/mog_cpu.dir/parallel_mog.cpp.o"
+  "CMakeFiles/mog_cpu.dir/parallel_mog.cpp.o.d"
+  "CMakeFiles/mog_cpu.dir/serial_mog.cpp.o"
+  "CMakeFiles/mog_cpu.dir/serial_mog.cpp.o.d"
+  "CMakeFiles/mog_cpu.dir/simd_mog.cpp.o"
+  "CMakeFiles/mog_cpu.dir/simd_mog.cpp.o.d"
+  "libmog_cpu.a"
+  "libmog_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

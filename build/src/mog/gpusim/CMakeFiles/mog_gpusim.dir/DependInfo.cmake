@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mog/gpusim/coalescer.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/coalescer.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/coalescer.cpp.o.d"
+  "/root/repo/src/mog/gpusim/device_memory.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/device_memory.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/device_memory.cpp.o.d"
+  "/root/repo/src/mog/gpusim/device_spec.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/device_spec.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/mog/gpusim/kernel_launch.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/kernel_launch.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/kernel_launch.cpp.o.d"
+  "/root/repo/src/mog/gpusim/occupancy.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/occupancy.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/mog/gpusim/stream_sim.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/stream_sim.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/stream_sim.cpp.o.d"
+  "/root/repo/src/mog/gpusim/timing_model.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/timing_model.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/timing_model.cpp.o.d"
+  "/root/repo/src/mog/gpusim/transfer_model.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/transfer_model.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/transfer_model.cpp.o.d"
+  "/root/repo/src/mog/gpusim/warp.cpp" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/warp.cpp.o" "gcc" "src/mog/gpusim/CMakeFiles/mog_gpusim.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_gpusim.dir/coalescer.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/coalescer.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/device_memory.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/device_memory.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/kernel_launch.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/kernel_launch.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/stream_sim.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/stream_sim.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/timing_model.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/timing_model.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/transfer_model.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/transfer_model.cpp.o.d"
+  "CMakeFiles/mog_gpusim.dir/warp.cpp.o"
+  "CMakeFiles/mog_gpusim.dir/warp.cpp.o.d"
+  "libmog_gpusim.a"
+  "libmog_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

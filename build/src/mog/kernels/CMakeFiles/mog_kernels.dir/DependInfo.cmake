@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mog/kernels/adaptive_kernel.cpp" "src/mog/kernels/CMakeFiles/mog_kernels.dir/adaptive_kernel.cpp.o" "gcc" "src/mog/kernels/CMakeFiles/mog_kernels.dir/adaptive_kernel.cpp.o.d"
+  "/root/repo/src/mog/kernels/mog_kernels.cpp" "src/mog/kernels/CMakeFiles/mog_kernels.dir/mog_kernels.cpp.o" "gcc" "src/mog/kernels/CMakeFiles/mog_kernels.dir/mog_kernels.cpp.o.d"
+  "/root/repo/src/mog/kernels/tiled_kernel.cpp" "src/mog/kernels/CMakeFiles/mog_kernels.dir/tiled_kernel.cpp.o" "gcc" "src/mog/kernels/CMakeFiles/mog_kernels.dir/tiled_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/gpusim/CMakeFiles/mog_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/cpu/CMakeFiles/mog_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_kernels.dir/adaptive_kernel.cpp.o"
+  "CMakeFiles/mog_kernels.dir/adaptive_kernel.cpp.o.d"
+  "CMakeFiles/mog_kernels.dir/mog_kernels.cpp.o"
+  "CMakeFiles/mog_kernels.dir/mog_kernels.cpp.o.d"
+  "CMakeFiles/mog_kernels.dir/tiled_kernel.cpp.o"
+  "CMakeFiles/mog_kernels.dir/tiled_kernel.cpp.o.d"
+  "libmog_kernels.a"
+  "libmog_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

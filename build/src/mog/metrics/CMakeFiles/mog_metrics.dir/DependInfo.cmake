@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mog/metrics/confusion.cpp" "src/mog/metrics/CMakeFiles/mog_metrics.dir/confusion.cpp.o" "gcc" "src/mog/metrics/CMakeFiles/mog_metrics.dir/confusion.cpp.o.d"
+  "/root/repo/src/mog/metrics/image_ops.cpp" "src/mog/metrics/CMakeFiles/mog_metrics.dir/image_ops.cpp.o" "gcc" "src/mog/metrics/CMakeFiles/mog_metrics.dir/image_ops.cpp.o.d"
+  "/root/repo/src/mog/metrics/ssim.cpp" "src/mog/metrics/CMakeFiles/mog_metrics.dir/ssim.cpp.o" "gcc" "src/mog/metrics/CMakeFiles/mog_metrics.dir/ssim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_metrics.dir/confusion.cpp.o"
+  "CMakeFiles/mog_metrics.dir/confusion.cpp.o.d"
+  "CMakeFiles/mog_metrics.dir/image_ops.cpp.o"
+  "CMakeFiles/mog_metrics.dir/image_ops.cpp.o.d"
+  "CMakeFiles/mog_metrics.dir/ssim.cpp.o"
+  "CMakeFiles/mog_metrics.dir/ssim.cpp.o.d"
+  "libmog_metrics.a"
+  "libmog_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_pipeline.dir/experiment.cpp.o"
+  "CMakeFiles/mog_pipeline.dir/experiment.cpp.o.d"
+  "CMakeFiles/mog_pipeline.dir/gpu_pipeline.cpp.o"
+  "CMakeFiles/mog_pipeline.dir/gpu_pipeline.cpp.o.d"
+  "libmog_pipeline.a"
+  "libmog_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mog/postproc/components.cpp" "src/mog/postproc/CMakeFiles/mog_postproc.dir/components.cpp.o" "gcc" "src/mog/postproc/CMakeFiles/mog_postproc.dir/components.cpp.o.d"
+  "/root/repo/src/mog/postproc/morphology.cpp" "src/mog/postproc/CMakeFiles/mog_postproc.dir/morphology.cpp.o" "gcc" "src/mog/postproc/CMakeFiles/mog_postproc.dir/morphology.cpp.o.d"
+  "/root/repo/src/mog/postproc/validation.cpp" "src/mog/postproc/CMakeFiles/mog_postproc.dir/validation.cpp.o" "gcc" "src/mog/postproc/CMakeFiles/mog_postproc.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_postproc.dir/components.cpp.o"
+  "CMakeFiles/mog_postproc.dir/components.cpp.o.d"
+  "CMakeFiles/mog_postproc.dir/morphology.cpp.o"
+  "CMakeFiles/mog_postproc.dir/morphology.cpp.o.d"
+  "CMakeFiles/mog_postproc.dir/validation.cpp.o"
+  "CMakeFiles/mog_postproc.dir/validation.cpp.o.d"
+  "libmog_postproc.a"
+  "libmog_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mog_video.dir/pnm_io.cpp.o"
+  "CMakeFiles/mog_video.dir/pnm_io.cpp.o.d"
+  "CMakeFiles/mog_video.dir/scene.cpp.o"
+  "CMakeFiles/mog_video.dir/scene.cpp.o.d"
+  "libmog_video.a"
+  "libmog_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mog_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/test_cpu.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/test_cpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mog/postproc/CMakeFiles/mog_postproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/core/CMakeFiles/mog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/pipeline/CMakeFiles/mog_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/video/CMakeFiles/mog_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/metrics/CMakeFiles/mog_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/kernels/CMakeFiles/mog_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/cpu/CMakeFiles/mog_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/gpusim/CMakeFiles/mog_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mog/common/CMakeFiles/mog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postproc.dir/test_postproc.cpp.o"
+  "CMakeFiles/test_postproc.dir/test_postproc.cpp.o.d"
+  "test_postproc"
+  "test_postproc.pdb"
+  "test_postproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

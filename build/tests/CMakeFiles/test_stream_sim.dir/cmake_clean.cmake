@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_sim.dir/test_stream_sim.cpp.o"
+  "CMakeFiles/test_stream_sim.dir/test_stream_sim.cpp.o.d"
+  "test_stream_sim"
+  "test_stream_sim.pdb"
+  "test_stream_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
