@@ -1,17 +1,25 @@
-// Video-surveillance pipeline: the paper's motivating application. Runs the
-// tiled (windowed) GPU variant over a busy street-like scene, extracts
-// moving-object detections from the foreground masks with a small
-// connected-components pass, and scores them against the scene's ground
-// truth.
+// Video-surveillance pipeline: the paper's motivating application, run the
+// way a deployment actually has to run — behind the fault-tolerant wrapper.
+// A seeded fault injector corrupts frames at the video layer and fails DMA
+// transfers and kernel launches on the simulated device; the resilient
+// pipeline retries, salvages, checkpoints, and (if the device keeps dying)
+// degrades tiled -> direct -> CPU while masks keep flowing. Detections are
+// extracted from the masks with a small connected-components pass and scored
+// against the scene's ground truth.
 //
-//   $ ./examples/surveillance [frames] [output_dir]
+//   $ ./examples/surveillance [frames] [output_dir] [fault_rate]
+//
+// `fault_rate` (default 0.02) drives the transfer/launch fault probability;
+// pass 0 for a fault-free run.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "mog/core/background_subtractor.hpp"
+#include "mog/fault/fault_injector.hpp"
+#include "mog/fault/resilient_pipeline.hpp"
 #include "mog/metrics/confusion.hpp"
 #include "mog/video/pnm_io.hpp"
 #include "mog/video/scene.hpp"
@@ -65,9 +73,15 @@ std::vector<Blob> find_blobs(const mog::FrameU8& mask, int min_area) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const int frames = argc > 1 ? std::atoi(argv[1]) : 80;
   const std::string out_dir = argc > 2 ? argv[2] : ".";
+  const double fault_rate = argc > 3 ? std::atof(argv[3]) : 0.02;
+  if (frames <= 0) {
+    std::fprintf(stderr,
+                 "usage: surveillance [frames>0] [output_dir] [fault_rate]\n");
+    return 2;
+  }
 
   mog::SceneConfig scene_cfg;
   scene_cfg.width = 640;
@@ -80,17 +94,31 @@ int main(int argc, char** argv) {
   // Tiled GPU variant (the paper's §IV-D): masks arrive one frame group at
   // a time, which is the realistic deployment trade-off between throughput
   // and latency.
-  mog::BackgroundSubtractor::Config cfg;
-  cfg.width = scene_cfg.width;
-  cfg.height = scene_cfg.height;
-  cfg.tiled = true;
-  cfg.tiled_config.frame_group = 8;
-  mog::BackgroundSubtractor bgs{cfg};
+  mog::fault::ResilientPipeline<double>::GpuConfig gpu_cfg;
+  gpu_cfg.width = scene_cfg.width;
+  gpu_cfg.height = scene_cfg.height;
+  gpu_cfg.tiled = true;
+  gpu_cfg.tiled_config.frame_group = 8;
+
+  // Deterministic fault model: DMA transfers and launches fail at
+  // fault_rate, frames arrive corrupted or not at all at half that rate.
+  mog::fault::FaultConfig fault_cfg;
+  fault_cfg.seed = 0xbad0cafe;
+  fault_cfg.upload_fault_prob = fault_rate;
+  fault_cfg.download_fault_prob = fault_rate;
+  fault_cfg.launch_fault_prob = fault_rate / 2;
+  fault_cfg.frame_corrupt_prob = fault_rate / 2;
+  fault_cfg.frame_drop_prob = fault_rate / 4;
+  auto injector = std::make_shared<mog::fault::FaultInjector>(fault_cfg);
+
+  mog::fault::ResilienceConfig res_cfg;
+  res_cfg.checkpoint_interval = 64;
+  res_cfg.health_check_interval = 16;
+  mog::fault::ResilientPipeline<double> pipeline{gpu_cfg, res_cfg, injector};
 
   mog::ConfusionCounts totals;
   mog::FrameU8 frame, mask, truth;
-  std::vector<int> pending;  // frame indices awaiting their group's masks
-  int detections = 0, truth_frames = 0;
+  int detections = 0, truth_frames = 0, last_scored = -1;
 
   auto consume = [&](int t, const mog::FrameU8& m) {
     if (t < 32) return;  // let the model warm up before scoring
@@ -107,39 +135,39 @@ int main(int argc, char** argv) {
       mog::write_pgm(out_dir + "/surveillance_frame.pgm", frame);
       mog::write_pgm(out_dir + "/surveillance_mask.pgm", m);
       mog::write_pgm(out_dir + "/surveillance_background.pgm",
-                     bgs.background());
+                     pipeline.background());
     }
+    last_scored = t;
   };
 
   for (int t = 0; t < frames; ++t) {
     frame = camera.frame(t);
-    pending.push_back(t);
-    if (bgs.apply(frame, mask)) {
-      // A group completed; masks for `pending` frames are ready.
-      const auto& profile = bgs.profile();
-      (void)profile;
-      // The facade returns only the newest mask; re-associate via flush-like
-      // bookkeeping: for this example the newest mask is scored for each
-      // pending frame boundary — use the group-completion frame only.
-      consume(pending.back(), mask);
-      pending.clear();
-    }
+    // Never throws on an injected fault: the wrapper retries, reuses the
+    // last mask, or steps down the degradation ladder.
+    if (pipeline.process(frame, mask)) consume(t, mask);
   }
   std::vector<mog::FrameU8> rest;
-  if (bgs.flush(rest) > 0) consume(frames - 1, rest.back());
+  if (pipeline.flush(rest) > 0 && last_scored < frames - 1)
+    consume(frames - 1, rest.back());
 
   std::printf(
       "\nsummary over %d scored frames: precision %.2f, recall %.2f, F1 "
       "%.2f, %d total detections\n",
       truth_frames, totals.precision(), totals.recall(), totals.f1(),
       detections);
-  const auto profile = bgs.profile();
-  if (profile.available) {
+  std::printf("execution tier at exit: %s\n",
+              mog::fault::to_string(pipeline.tier()));
+  std::printf("recovery: %s\n", pipeline.recovery_stats().summary().c_str());
+  const auto* gpu = pipeline.gpu_pipeline();
+  if (gpu != nullptr && gpu->frames_processed() > 0) {
     std::printf(
         "tiled GPU pipeline: %.2f ms/frame kernel (modeled), occupancy "
-        "%.0f%% (shared-memory limited), modeled total %.2f s\n",
-        1e3 * profile.kernel_timing.total_seconds,
-        100.0 * profile.occupancy.achieved, profile.modeled_seconds);
+        "%.0f%%, modeled total %.2f s\n",
+        1e3 * gpu->per_frame_kernel_timing().total_seconds,
+        100.0 * gpu->occupancy().achieved, gpu->modeled_seconds());
   }
   return 0;
+} catch (const mog::Error& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

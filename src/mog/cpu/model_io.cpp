@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "mog/common/crc32.hpp"
 #include "mog/common/strutil.hpp"
 
 namespace mog {
@@ -11,7 +12,11 @@ namespace mog {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'O', 'G', 'M'};
-constexpr std::uint32_t kVersion = 1;
+// v1: header + arrays. v2 appends a CRC-32 of the three parameter arrays so
+// checkpoint rollback can reject corrupt snapshots; v1 files (no checksum)
+// still load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestLoadableVersion = 1;
 
 struct Header {
   char magic[4];
@@ -23,17 +28,21 @@ struct Header {
 };
 
 template <typename T>
-void write_array(std::ofstream& out, const std::vector<T>& v) {
+void write_array(std::ofstream& out, const std::vector<T>& v, Crc32& crc) {
+  const std::size_t bytes = v.size() * sizeof(T);
   out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+            static_cast<std::streamsize>(bytes));
+  crc.update(v.data(), bytes);
 }
 
 template <typename T>
-void read_array(std::ifstream& in, std::vector<T>& v,
+void read_array(std::ifstream& in, std::vector<T>& v, Crc32& crc,
                 const std::string& path) {
+  const std::size_t bytes = v.size() * sizeof(T);
   in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(T)));
+          static_cast<std::streamsize>(bytes));
   if (!in) throw Error{"truncated model file: " + path};
+  crc.update(v.data(), bytes);
 }
 
 }  // namespace
@@ -51,9 +60,12 @@ void save_model(const std::string& path, const MogModel<T>& model) {
   h.height = model.height();
   h.components = model.num_components();
   out.write(reinterpret_cast<const char*>(&h), sizeof h);
-  write_array(out, model.weights());
-  write_array(out, model.means());
-  write_array(out, model.sds());
+  Crc32 crc;
+  write_array(out, model.weights(), crc);
+  write_array(out, model.means(), crc);
+  write_array(out, model.sds(), crc);
+  const std::uint32_t checksum = crc.value();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
   if (!out) throw Error{"write failed: " + path};
 }
 
@@ -66,7 +78,7 @@ MogModel<T> load_model(const std::string& path, const MogParams& params) {
   in.read(reinterpret_cast<char*>(&h), sizeof h);
   if (!in || std::memcmp(h.magic, kMagic, 4) != 0)
     throw Error{"not a MOGM model file: " + path};
-  if (h.version != kVersion)
+  if (h.version < kOldestLoadableVersion || h.version > kVersion)
     throw Error{strprintf("unsupported model version %u in %s", h.version,
                           path.c_str())};
   if (h.dtype != sizeof(T))
@@ -81,9 +93,20 @@ MogModel<T> load_model(const std::string& path, const MogParams& params) {
             "params.num_components does not match the stored model");
 
   MogModel<T> model(h.width, h.height, params);
-  read_array(in, model.weights(), path);
-  read_array(in, model.means(), path);
-  read_array(in, model.sds(), path);
+  Crc32 crc;
+  read_array(in, model.weights(), crc, path);
+  read_array(in, model.means(), crc, path);
+  read_array(in, model.sds(), crc, path);
+  if (h.version >= 2) {
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+    if (!in) throw Error{"truncated model file (missing checksum): " + path};
+    if (stored != crc.value())
+      throw Error{strprintf(
+          "model checksum mismatch in %s (stored %08x, computed %08x) — "
+          "snapshot is corrupt",
+          path.c_str(), stored, crc.value())};
+  }
   return model;
 }
 

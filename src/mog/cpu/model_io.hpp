@@ -7,6 +7,11 @@
 //   magic "MOGM" | u32 version | u32 dtype (4=float, 8=double)
 //   | i32 width | i32 height | i32 components
 //   | weights[] | means[] | sds[]          (each K*W*H scalars, SoA order)
+//   | u32 crc32                            (v2+: checksum of the arrays)
+//
+// Writers emit v2; the loader accepts v1 files (no trailing checksum) and
+// verifies the CRC on v2+ so checkpoint rollback can reject corrupt
+// snapshots instead of resurrecting garbage into a live pipeline.
 #pragma once
 
 #include <string>

@@ -1,0 +1,138 @@
+#include "mog/fault/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace mog::fault {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFrameDrop: return "frame-drop";
+    case FaultSite::kFrameTruncate: return "frame-truncate";
+    case FaultSite::kFrameCorrupt: return "frame-corrupt";
+    case FaultSite::kUpload: return "upload";
+    case FaultSite::kDownload: return "download";
+    case FaultSite::kLaunch: return "launch";
+    case FaultSite::kPayloadBitflip: return "payload-bitflip";
+    case FaultSite::kModelMemory: return "model-memory";
+  }
+  return "?";
+}
+
+void FaultConfig::validate() const {
+  const double probs[] = {frame_drop_prob,    frame_truncate_prob,
+                          frame_corrupt_prob, upload_fault_prob,
+                          download_fault_prob, launch_fault_prob,
+                          payload_bitflip_prob, model_corrupt_prob};
+  for (const double p : probs)
+    MOG_CHECK(p >= 0.0 && p <= 1.0,
+              "fault probabilities must be in [0, 1]");
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  config_.validate();
+  SplitMix64 expander{config_.seed};
+  for (auto& r : rngs_) r = Rng{expander.next()};
+}
+
+bool FaultInjector::fires(FaultSite site, double probability) {
+  const std::uint64_t index = op_counts_[static_cast<std::size_t>(site)]++;
+  // Always draw, even at probability 0, so every site's stream advances
+  // identically whatever the configuration — replay stays exact when a test
+  // toggles one probability.
+  const bool random = rng(site).chance(probability);
+  const bool scheduled =
+      std::any_of(config_.schedule.begin(), config_.schedule.end(),
+                  [&](const ScheduledFault& f) {
+                    return f.site == site && f.op_index == index;
+                  });
+  return random || scheduled;
+}
+
+FrameFault FaultInjector::apply_frame_faults(FrameU8& frame) {
+  ++log_.frames_seen;
+  const bool drop = fires(FaultSite::kFrameDrop, config_.frame_drop_prob);
+  const bool truncate =
+      fires(FaultSite::kFrameTruncate, config_.frame_truncate_prob);
+  const bool corrupt =
+      fires(FaultSite::kFrameCorrupt, config_.frame_corrupt_prob);
+
+  if (drop) {
+    frame = FrameU8{};  // the capture layer delivered nothing
+    ++log_.frames_dropped;
+    return FrameFault::kDropped;
+  }
+  if (truncate && frame.height() > 1) {
+    // Short read: only the leading rows arrived.
+    const int keep = 1 + static_cast<int>(rng(FaultSite::kFrameTruncate)
+                                              .uniform_u32(static_cast<std::uint32_t>(
+                                                  frame.height() - 1)));
+    FrameU8 shorter(frame.width(), keep);
+    std::copy_n(frame.data(), shorter.size(), shorter.data());
+    frame = std::move(shorter);
+    ++log_.frames_truncated;
+    return FrameFault::kTruncated;
+  }
+  if (corrupt && !frame.empty()) {
+    // Burst corruption: a band of rows is overwritten with saturated noise
+    // (the signature of a DMA/sensor burst error) — detectable downstream
+    // by a saturation-fraction integrity check.
+    Rng& r = rng(FaultSite::kFrameCorrupt);
+    const int h = frame.height();
+    const int band = (2 * h + 4) / 5;  // ~40% of the rows
+    const int start = static_cast<int>(
+        r.uniform_u32(static_cast<std::uint32_t>(h - band + 1)));
+    for (int y = start; y < start + band; ++y)
+      for (int x = 0; x < frame.width(); ++x)
+        frame.at(x, y) = r.chance(0.5) ? 0 : 255;
+    ++log_.frames_corrupted;
+    return FrameFault::kCorrupted;
+  }
+  return FrameFault::kNone;
+}
+
+void FaultInjector::before_transfer(gpusim::TransferDir dir,
+                                    std::uint64_t bytes) {
+  if (dir == gpusim::TransferDir::kHostToDevice) {
+    ++log_.uploads_seen;
+    if (fires(FaultSite::kUpload, config_.upload_fault_prob)) {
+      ++log_.upload_faults;
+      throw gpusim::TransferError{
+          dir, "injected DMA fault: host->device transfer of " +
+                   std::to_string(bytes) + " bytes failed"};
+    }
+  } else {
+    ++log_.downloads_seen;
+    if (fires(FaultSite::kDownload, config_.download_fault_prob)) {
+      ++log_.download_faults;
+      throw gpusim::TransferError{
+          dir, "injected DMA fault: device->host transfer of " +
+                   std::to_string(bytes) + " bytes failed"};
+    }
+  }
+}
+
+void FaultInjector::after_transfer(gpusim::TransferDir, void* data,
+                                   std::size_t bytes) {
+  if (!fires(FaultSite::kPayloadBitflip, config_.payload_bitflip_prob) ||
+      bytes == 0)
+    return;
+  Rng& r = rng(FaultSite::kPayloadBitflip);
+  const auto span = static_cast<std::uint32_t>(
+      bytes < 0xffffffffu ? bytes : std::size_t{0xffffffffu});
+  const std::size_t byte = r.uniform_u32(span);
+  const int bit = static_cast<int>(r.uniform_u32(8));
+  static_cast<std::uint8_t*>(data)[byte] ^=
+      static_cast<std::uint8_t>(1u << bit);
+  ++log_.payload_bitflips;
+}
+
+void FaultInjector::before_launch() {
+  ++log_.launches_seen;
+  if (fires(FaultSite::kLaunch, config_.launch_fault_prob)) {
+    ++log_.launch_faults;
+    throw gpusim::LaunchError{
+        "injected launch failure: kernel did not start"};
+  }
+}
+
+}  // namespace mog::fault

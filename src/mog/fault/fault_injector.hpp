@@ -1,0 +1,141 @@
+// Deterministic, seeded fault injection for the whole pipeline.
+//
+// Long-running surveillance deployments fail on corrupted frames, transfer
+// faults, and model divergence — not on the happy path. This injector makes
+// those failures *testable*: every fault site draws from its own
+// deterministic RNG stream (expanded from one user seed via SplitMix64), so
+// a given (seed, config) replays the exact same fault sequence run after
+// run, and faults can additionally be pinned to exact operation indices via
+// a schedule.
+//
+// Sites:
+//   * video layer   — drop, truncate, or burst-corrupt input frames
+//                     (apply_frame_faults, called by the recovery layer)
+//   * DMA transfers — fail uploads/downloads (gpusim::FaultHook), or flip a
+//                     bit in a delivered payload (silent corruption)
+//   * kernel launch — fail a launch before any block runs
+//   * model memory  — poison one model scalar at the per-frame scrub point
+//                     (modeling an uncorrected GPU memory error)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/common/rng.hpp"
+#include "mog/gpusim/fault_hooks.hpp"
+
+namespace mog::fault {
+
+enum class FaultSite {
+  kFrameDrop = 0,
+  kFrameTruncate,
+  kFrameCorrupt,
+  kUpload,
+  kDownload,
+  kLaunch,
+  kPayloadBitflip,
+  kModelMemory,
+};
+inline constexpr int kNumFaultSites = 8;
+
+const char* to_string(FaultSite site);
+
+/// Pin a fault to the `op_index`-th operation (0-based) at a site, e.g.
+/// {kLaunch, 3} fails the fourth kernel launch regardless of probability.
+struct ScheduledFault {
+  FaultSite site;
+  std::uint64_t op_index;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfa17u;
+
+  // Per-operation fault probabilities, all in [0, 1].
+  double frame_drop_prob = 0.0;
+  double frame_truncate_prob = 0.0;
+  double frame_corrupt_prob = 0.0;
+  double upload_fault_prob = 0.0;
+  double download_fault_prob = 0.0;
+  double launch_fault_prob = 0.0;
+  double payload_bitflip_prob = 0.0;
+  double model_corrupt_prob = 0.0;
+
+  std::vector<ScheduledFault> schedule;
+
+  void validate() const;
+};
+
+/// What happened to a frame at the video layer.
+enum class FrameFault { kNone, kDropped, kTruncated, kCorrupted };
+
+/// Injection counters — every fault actually delivered. Comparable so tests
+/// can assert bit-identical replay across runs.
+struct InjectionLog {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_truncated = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t uploads_seen = 0;
+  std::uint64_t upload_faults = 0;
+  std::uint64_t downloads_seen = 0;
+  std::uint64_t download_faults = 0;
+  std::uint64_t launches_seen = 0;
+  std::uint64_t launch_faults = 0;
+  std::uint64_t payload_bitflips = 0;
+  std::uint64_t model_corruptions = 0;
+
+  bool operator==(const InjectionLog&) const = default;
+};
+
+class FaultInjector final : public gpusim::FaultHook {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  /// Video-layer fault point: mutate `frame` in place (drop → empty image,
+  /// truncate → fewer rows, corrupt → saturated burst band) and report what
+  /// was injected. Precedence when several fire: drop > truncate > corrupt.
+  FrameFault apply_frame_faults(FrameU8& frame);
+
+  // gpusim::FaultHook — installed on the simulated device.
+  void before_transfer(gpusim::TransferDir dir, std::uint64_t bytes) override;
+  void after_transfer(gpusim::TransferDir dir, void* data,
+                      std::size_t bytes) override;
+  void before_launch() override;
+
+  /// Model-memory scrub point: with probability model_corrupt_prob (or per
+  /// schedule) poison one scalar of the given parameter array with NaN,
+  /// modeling an uncorrected memory error between frames. Returns true when
+  /// an error was injected.
+  template <typename T>
+  bool corrupt_model_maybe(T* data, std::size_t n) {
+    if (!fires(FaultSite::kModelMemory, config_.model_corrupt_prob) || n == 0)
+      return false;
+    const auto span = static_cast<std::uint32_t>(
+        n < 0xffffffffu ? n : std::size_t{0xffffffffu});
+    data[rng(FaultSite::kModelMemory).uniform_u32(span)] =
+        std::numeric_limits<T>::quiet_NaN();
+    ++log_.model_corruptions;
+    return true;
+  }
+
+  const FaultConfig& config() const { return config_; }
+  const InjectionLog& log() const { return log_; }
+
+ private:
+  /// One deterministic draw at `site` (always consumes exactly one uniform
+  /// so streams stay aligned across runs), OR-ed with the schedule.
+  bool fires(FaultSite site, double probability);
+  Rng& rng(FaultSite site) {
+    return rngs_[static_cast<std::size_t>(site)];
+  }
+
+  FaultConfig config_;
+  std::array<Rng, kNumFaultSites> rngs_;
+  std::array<std::uint64_t, kNumFaultSites> op_counts_{};
+  InjectionLog log_;
+};
+
+}  // namespace mog::fault

@@ -1,0 +1,62 @@
+#include "mog/fault/model_health.hpp"
+
+#include <cmath>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::fault {
+
+std::string ModelHealth::summary() const {
+  return strprintf(
+      "%llu pixels checked: %llu non-finite, %llu non-positive sd, "
+      "weight drift %.3g",
+      static_cast<unsigned long long>(pixels_checked),
+      static_cast<unsigned long long>(non_finite),
+      static_cast<unsigned long long>(nonpositive_sd), max_weight_drift);
+}
+
+template <typename T>
+ModelHealth validate_model(const MogModel<T>& model,
+                           std::size_t pixel_stride) {
+  MOG_CHECK(pixel_stride >= 1, "pixel_stride must be >= 1");
+  ModelHealth h;
+  const int k = model.num_components();
+  for (std::size_t p = 0; p < model.num_pixels(); p += pixel_stride) {
+    ++h.pixels_checked;
+    double weight_sum = 0.0;
+    for (int c = 0; c < k; ++c) {
+      const double w = static_cast<double>(model.weight(p, c));
+      const double m = static_cast<double>(model.mean(p, c));
+      const double sd = static_cast<double>(model.sd(p, c));
+      if (!std::isfinite(w) || !std::isfinite(m) || !std::isfinite(sd)) {
+        ++h.non_finite;
+        continue;  // don't fold NaN into the weight sum
+      }
+      if (sd <= 0.0) ++h.nonpositive_sd;
+      weight_sum += w;
+    }
+    const double drift = std::abs(weight_sum - 1.0);
+    if (std::isfinite(drift)) {
+      if (drift > h.max_weight_drift) h.max_weight_drift = drift;
+    }
+  }
+  return h;
+}
+
+template <typename T>
+ModelHealth validate_model(const kernels::DeviceMogState<T>& state,
+                           const MogParams& params,
+                           std::size_t pixel_stride) {
+  return validate_model(state.download(params), pixel_stride);
+}
+
+template ModelHealth validate_model<float>(const MogModel<float>&,
+                                           std::size_t);
+template ModelHealth validate_model<double>(const MogModel<double>&,
+                                            std::size_t);
+template ModelHealth validate_model<float>(
+    const kernels::DeviceMogState<float>&, const MogParams&, std::size_t);
+template ModelHealth validate_model<double>(
+    const kernels::DeviceMogState<double>&, const MogParams&, std::size_t);
+
+}  // namespace mog::fault

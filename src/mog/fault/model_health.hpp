@@ -1,0 +1,58 @@
+// Model health validation — the cheap periodic watchdog behind
+// rollback-on-divergence.
+//
+// A MoG model is healthy when every parameter is finite, every standard
+// deviation is positive, and each pixel's component weights still sum to ~1
+// (the kernels renormalize once per frame, so drift beyond numeric noise
+// means the update went wrong or memory was corrupted). The check is O(K·N)
+// over the scanned pixels; `pixel_stride` subsamples for watchdog use —
+// corruption that matters (NaN spreading through the update recurrence,
+// whole rows of garbage) is dense enough to catch at stride 4–16 while
+// costing a fraction of a frame's work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mog/cpu/mog_model.hpp"
+#include "mog/kernels/device_state.hpp"
+
+namespace mog::fault {
+
+inline constexpr double kDefaultWeightDriftTolerance = 1e-2;
+
+struct ModelHealth {
+  std::uint64_t pixels_checked = 0;
+  std::uint64_t non_finite = 0;      ///< NaN/Inf scalars (any parameter)
+  std::uint64_t nonpositive_sd = 0;  ///< σ <= 0 entries
+  double max_weight_drift = 0.0;     ///< max over pixels of |Σ_k w_k − 1|
+
+  bool healthy(double weight_drift_tolerance =
+                   kDefaultWeightDriftTolerance) const {
+    return non_finite == 0 && nonpositive_sd == 0 &&
+           max_weight_drift <= weight_drift_tolerance;
+  }
+  std::string summary() const;
+};
+
+/// Scan a host model. `pixel_stride` >= 1 subsamples pixels.
+template <typename T>
+ModelHealth validate_model(const MogModel<T>& model,
+                           std::size_t pixel_stride = 1);
+
+/// Download and scan a device-resident model.
+template <typename T>
+ModelHealth validate_model(const kernels::DeviceMogState<T>& state,
+                           const MogParams& params,
+                           std::size_t pixel_stride = 1);
+
+extern template ModelHealth validate_model<float>(const MogModel<float>&,
+                                                  std::size_t);
+extern template ModelHealth validate_model<double>(const MogModel<double>&,
+                                                   std::size_t);
+extern template ModelHealth validate_model<float>(
+    const kernels::DeviceMogState<float>&, const MogParams&, std::size_t);
+extern template ModelHealth validate_model<double>(
+    const kernels::DeviceMogState<double>&, const MogParams&, std::size_t);
+
+}  // namespace mog::fault

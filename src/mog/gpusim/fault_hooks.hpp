@@ -1,0 +1,68 @@
+// Fault-injection seams for the simulated device.
+//
+// Long-running deployments die on the unhappy path: DMA engines time out,
+// launches fail, ECC scrubbing misses a flipped bit. Real CUDA surfaces
+// these as cudaError codes from cudaMemcpy / kernel launches; the simulator
+// mirrors that with a hook interface consulted at the same three points —
+// before a host->device transfer, before a device->host transfer, and before
+// a kernel launch — plus a post-transfer callback that may corrupt the
+// payload in place (silent data corruption, the kind only a checksum or a
+// model-health watchdog catches).
+//
+// Hooks are *non-owning* and optional: a Device with no hook installed
+// behaves exactly like the seed simulator. mog::fault::FaultInjector is the
+// canonical implementation; tests may install bespoke hooks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mog/common/error.hpp"
+
+namespace mog::gpusim {
+
+enum class TransferDir { kHostToDevice, kDeviceToHost };
+
+inline const char* to_string(TransferDir dir) {
+  return dir == TransferDir::kHostToDevice ? "host->device" : "device->host";
+}
+
+/// A DMA transfer failed (modeling cudaErrorInvalidValue / timeout from
+/// cudaMemcpy). Transient: the payload was not delivered and the operation
+/// may be retried.
+class TransferError : public Error {
+ public:
+  TransferError(TransferDir dir, const std::string& what)
+      : Error(what), dir_(dir) {}
+  TransferDir dir() const { return dir_; }
+
+ private:
+  TransferDir dir_;
+};
+
+/// A kernel launch failed before any thread executed (modeling
+/// cudaErrorLaunchFailure reported at launch time). Transient; device
+/// memory is untouched.
+class LaunchError : public Error {
+ public:
+  using Error::Error;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Called before the copy; throw TransferError to fail the transfer (no
+  /// bytes are moved).
+  virtual void before_transfer(TransferDir dir, std::uint64_t bytes) = 0;
+
+  /// Called after a successful copy with the destination payload; may flip
+  /// bits in place to model silent transfer corruption.
+  virtual void after_transfer(TransferDir dir, void* data,
+                              std::size_t bytes) = 0;
+
+  /// Called before any block executes; throw LaunchError to fail the launch.
+  virtual void before_launch() = 0;
+};
+
+}  // namespace mog::gpusim

@@ -17,6 +17,7 @@
 #include "mog/gpusim/coalescer.hpp"
 #include "mog/gpusim/device_memory.hpp"
 #include "mog/gpusim/device_spec.hpp"
+#include "mog/gpusim/fault_hooks.hpp"
 #include "mog/gpusim/stats.hpp"
 #include "mog/gpusim/warp.hpp"
 
@@ -102,11 +103,48 @@ class Device {
   const DeviceSpec& spec() const { return spec_; }
   DeviceMemory& memory() { return memory_; }
 
+  /// Install a fault-injection hook (non-owning; nullptr restores fault-free
+  /// operation). The hook is consulted by launch() and the hooked transfer
+  /// members below — the plain copy_to_device/copy_from_device free
+  /// functions stay fault-free, so model initialization and recovery
+  /// (checkpoint upload, rollback) never fail.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
+  /// Hooked host->device DMA transfer: may throw TransferError, and the
+  /// installed hook may corrupt the delivered payload in place.
+  template <typename T>
+  std::size_t upload(DevSpan<T> dst, const T* src, std::size_t count) {
+    if (fault_hook_)
+      fault_hook_->before_transfer(TransferDir::kHostToDevice,
+                                   count * sizeof(T));
+    const std::size_t bytes = copy_to_device(dst, src, count);
+    if (fault_hook_)
+      fault_hook_->after_transfer(TransferDir::kHostToDevice, dst.data, bytes);
+    return bytes;
+  }
+
+  /// Hooked device->host DMA transfer; mirror of upload().
+  template <typename T>
+  std::size_t download(T* dst, DevSpan<T> src, std::size_t count) {
+    if (fault_hook_)
+      fault_hook_->before_transfer(TransferDir::kDeviceToHost,
+                                   count * sizeof(T));
+    const std::size_t bytes = copy_from_device(dst, src, count);
+    if (fault_hook_)
+      fault_hook_->after_transfer(TransferDir::kDeviceToHost, dst, bytes);
+    return bytes;
+  }
+
   /// Execute a kernel over the whole grid, returning its profiler counters.
-  /// Functional side effects land in device memory synchronously.
+  /// Functional side effects land in device memory synchronously. With a
+  /// fault hook installed the launch may throw LaunchError *before* any
+  /// block runs (device state is untouched, mirroring a CUDA launch
+  /// failure).
   template <typename KernelFn>
   KernelStats launch(const LaunchConfig& config, KernelFn&& kernel) {
     validate(config);
+    if (fault_hook_) fault_hook_->before_launch();
     KernelStats stats;
     stats.threads_per_block = config.threads_per_block;
 
@@ -142,6 +180,7 @@ class Device {
   DeviceSpec spec_;
   DeviceMemory memory_;
   std::vector<std::byte> shared_arena_;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace mog::gpusim

@@ -2,21 +2,33 @@
 
 namespace mog {
 
+namespace {
+
+// Validated before any member construction, so a bad config reports itself
+// instead of surfacing as a failed device allocation.
+template <typename T>
+typename GpuMogPipeline<T>::Config validated(
+    const typename GpuMogPipeline<T>::Config& config) {
+  MOG_CHECK(config.width > 0 && config.height > 0, "bad pipeline dimensions");
+  if (config.tiled) {
+    MOG_CHECK(config.level == kernels::OptLevel::kF,
+              "the tiled variant builds on optimization level F");
+    config.tiled_config.validate();
+  }
+  return config;
+}
+
+}  // namespace
+
 template <typename T>
 GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
-    : config_(config),
+    : config_(validated<T>(config)),
       tp_(TypedMogParams<T>::from(config.params)),
       device_(config.device),
       state_(device_, config.width, config.height, config.params,
              kernels::uses_aos_layout(config.level)
                  ? kernels::ParamLayout::kAoS
                  : kernels::ParamLayout::kSoA) {
-  MOG_CHECK(config.width > 0 && config.height > 0, "bad pipeline dimensions");
-  if (config_.tiled) {
-    MOG_CHECK(config_.level == kernels::OptLevel::kF,
-              "the tiled variant builds on optimization level F");
-    config_.tiled_config.validate();
-  }
   const int nbuf = config_.tiled ? config_.tiled_config.frame_group : 1;
   const std::size_t n = state_.num_pixels();
   for (int i = 0; i < nbuf; ++i) {
@@ -30,56 +42,104 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
   MOG_CHECK(frame.width() == config_.width &&
                 frame.height() == config_.height,
             "frame dimensions do not match the pipeline");
+  MOG_CHECK(!in_flight(),
+            "interrupted device operation outstanding; call resume() first");
   const std::size_t n = state_.num_pixels();
 
   if (!config_.tiled) {
-    gpusim::copy_to_device(frame_bufs_[0], frame.data(), n);
+    device_.upload(frame_bufs_[0], frame.data(), n);
     accumulated_ += kernels::launch_mog_frame<T>(
         device_, state_, frame_bufs_[0], fg_bufs_[0], tp_, config_.level,
         config_.threads_per_block);
     ++launches_;
     ++frames_;
+    group_masks_.clear();
+    group_size_cur_ = 1;
+    downloads_left_ = 1;
+    download_group_masks();
     if (!fg.same_shape(frame)) fg = FrameU8(config_.width, config_.height);
-    gpusim::copy_from_device(fg.data(), fg_bufs_[0], n);
+    fg = group_masks_.back();
     return true;
   }
 
   // Tiled: buffer until the frame group is full.
-  gpusim::copy_to_device(frame_bufs_[static_cast<std::size_t>(pending_)],
-                         frame.data(), n);
+  device_.upload(frame_bufs_[static_cast<std::size_t>(pending_)],
+                 frame.data(), n);
   ++pending_;
   ++frames_;
   if (pending_ < config_.tiled_config.frame_group) return false;
 
-  run_group();
+  group_launch_pending_ = true;
+  finish_group();
   if (!fg.same_shape(frame)) fg = FrameU8(config_.width, config_.height);
   fg = group_masks_.back();
   return true;
 }
 
 template <typename T>
-void GpuMogPipeline<T>::run_group() {
-  const std::size_t n = state_.num_pixels();
-  const std::size_t g = static_cast<std::size_t>(pending_);
-  accumulated_ += kernels::launch_tiled_group<T>(
-      device_, state_,
-      std::span<const gpusim::DevSpan<std::uint8_t>>{frame_bufs_.data(), g},
-      std::span<const gpusim::DevSpan<std::uint8_t>>{fg_bufs_.data(), g},
-      tp_, config_.tiled_config);
-  ++launches_;
-  group_masks_.clear();
-  for (std::size_t i = 0; i < g; ++i) {
-    FrameU8 mask(config_.width, config_.height);
-    gpusim::copy_from_device(mask.data(), fg_bufs_[i], n);
-    group_masks_.push_back(std::move(mask));
+void GpuMogPipeline<T>::finish_group() {
+  if (group_launch_pending_) {
+    const std::size_t g = static_cast<std::size_t>(pending_);
+    accumulated_ += kernels::launch_tiled_group<T>(
+        device_, state_,
+        std::span<const gpusim::DevSpan<std::uint8_t>>{frame_bufs_.data(), g},
+        std::span<const gpusim::DevSpan<std::uint8_t>>{fg_bufs_.data(), g},
+        tp_, config_.tiled_config);
+    ++launches_;
+    // The update kernel has run: from here on only downloads remain, and a
+    // retry must not re-launch.
+    group_launch_pending_ = false;
+    pending_ = 0;
+    group_masks_.clear();
+    group_size_cur_ = g;
+    downloads_left_ = g;
   }
-  pending_ = 0;
+  download_group_masks();
+}
+
+template <typename T>
+void GpuMogPipeline<T>::download_group_masks() {
+  const std::size_t n = state_.num_pixels();
+  while (downloads_left_ > 0) {
+    const std::size_t i = group_size_cur_ - downloads_left_;
+    FrameU8 mask(config_.width, config_.height);
+    device_.download(mask.data(), fg_bufs_[i], n);
+    group_masks_.push_back(std::move(mask));
+    --downloads_left_;
+  }
+}
+
+template <typename T>
+bool GpuMogPipeline<T>::resume(FrameU8& fg) {
+  MOG_CHECK(in_flight(), "no interrupted device operation to resume");
+  finish_group();
+  if (fg.width() != config_.width || fg.height() != config_.height)
+    fg = FrameU8(config_.width, config_.height);
+  fg = group_masks_.back();
+  return true;
+}
+
+template <typename T>
+int GpuMogPipeline<T>::abort_in_flight() {
+  int discarded = 0;
+  if (group_launch_pending_) {
+    discarded = pending_;
+    frames_ -= static_cast<std::uint64_t>(pending_);
+    pending_ = 0;
+    group_launch_pending_ = false;
+  }
+  downloads_left_ = 0;
+  group_size_cur_ = 0;
+  return discarded;
 }
 
 template <typename T>
 int GpuMogPipeline<T>::flush(std::vector<FrameU8>& out) {
+  MOG_CHECK(!in_flight(),
+            "interrupted device operation outstanding; call resume() first");
   if (!config_.tiled || pending_ == 0) return 0;
-  run_group();
+  group_launch_pending_ = true;
+  finish_group();
   for (const auto& m : group_masks_) out.push_back(m);
   return static_cast<int>(group_masks_.size());
 }

@@ -5,6 +5,14 @@
 // frame groups for the tiled variant), accumulates profiler counters, and
 // produces modeled wall-clock seconds by composing kernel timing with the
 // transfer schedule (sequential for A/B, overlapped Fig. 5b for C+).
+//
+// Fault-aware operation: frame uploads, kernel launches, and mask downloads
+// go through the device's hooked entry points, so an installed
+// gpusim::FaultHook can fail them (TransferError / LaunchError). A failure
+// leaves the pipeline in a *resumable* state — in_flight() reports whether
+// an interrupted group launch or mask download is outstanding, and resume()
+// re-attempts exactly the remaining work without repeating the model update
+// (retries are therefore free of double-update divergence).
 #pragma once
 
 #include <cstdint>
@@ -43,13 +51,40 @@ class GpuMogPipeline {
   /// Process one frame: upload, kernel (for the tiled variant: buffered
   /// until the frame group fills), download the mask. For the tiled variant
   /// `fg` is only written when the group completes (returns true).
+  ///
+  /// With a fault hook installed this may throw gpusim::TransferError or
+  /// gpusim::LaunchError. An upload or launch failure leaves the pipeline
+  /// clean (the call may simply be repeated); a download failure happens
+  /// after the model update and leaves the pipeline in_flight() — call
+  /// resume() to retry the remaining downloads, not process().
   bool process(const FrameU8& frame, FrameU8& fg);
 
+  /// True when a device fault interrupted a group launch or mask download;
+  /// process()/flush() refuse to run until resume() completes the work.
+  bool in_flight() const {
+    return group_launch_pending_ || downloads_left_ > 0;
+  }
+
+  /// Re-attempt the interrupted portion of the last operation (group launch
+  /// and/or remaining mask downloads). Idempotent with respect to the model:
+  /// the update kernel is never re-run once it has executed. On success
+  /// writes the newest mask to `fg` and returns true; may throw again.
+  bool resume(FrameU8& fg);
+
+  /// Abandon an interrupted operation after exhausted retries: drops any
+  /// owed group launch (its buffered frames leave the accounting) and any
+  /// un-downloaded masks. Returns the number of buffered input frames
+  /// discarded (0 when only mask downloads were lost — those frames did
+  /// update the model).
+  int abort_in_flight();
+
   /// Tiled variant: run any buffered partial group now. Returns the number
-  /// of masks appended to `out`.
+  /// of masks appended to `out`. May throw like process(); after resume()
+  /// recovers an interrupted flush, the masks are in last_group_masks().
   int flush(std::vector<FrameU8>& out);
 
-  /// Masks of the last completed tiled group (group-size entries).
+  /// Masks of the last completed group (group-size entries; the non-tiled
+  /// path behaves as a group of one).
   const std::vector<FrameU8>& last_group_masks() const {
     return group_masks_;
   }
@@ -69,14 +104,26 @@ class GpuMogPipeline {
   /// per-frame kernel time with the variant's transfer schedule.
   double modeled_seconds(std::uint64_t frames = 0) const;
 
-  /// Download the device model (background estimates, cross-checks).
+  /// Download the device model (background estimates, cross-checks,
+  /// checkpointing). Uses the un-hooked copy path: reading the model out
+  /// never fails, even under fault injection.
   MogModel<T> model() const { return state_.download(config_.params); }
+
+  /// Overwrite the device model (checkpoint restore / rollback). Un-hooked
+  /// like model().
+  void set_model(const MogModel<T>& m) { state_.upload(m); }
+
+  /// The simulated device — exposed so recovery layers can install fault
+  /// hooks and inspect memory accounting.
+  gpusim::Device& device() { return device_; }
+  kernels::DeviceMogState<T>& state() { return state_; }
 
   const Config& config() const { return config_; }
   const gpusim::DeviceSpec& device_spec() const { return device_.spec(); }
 
  private:
-  void run_group();
+  void finish_group();
+  void download_group_masks();
 
   Config config_;
   TypedMogParams<T> tp_;
@@ -87,6 +134,11 @@ class GpuMogPipeline {
 
   int pending_ = 0;  ///< buffered frames of the current tiled group
   std::vector<FrameU8> group_masks_;
+
+  // Resumable-operation state (see in_flight()/resume()).
+  bool group_launch_pending_ = false;  ///< full group buffered, launch owed
+  std::size_t group_size_cur_ = 0;     ///< frames in the group being drained
+  std::size_t downloads_left_ = 0;     ///< masks still owed by the device
 
   gpusim::KernelStats accumulated_;
   std::uint64_t frames_ = 0;

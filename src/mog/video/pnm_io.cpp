@@ -17,6 +17,13 @@ void write_pgm(const std::string& path, const FrameU8& image) {
 }
 
 namespace {
+
+// Caps on accepted geometry: a malformed or hostile header must not drive a
+// multi-gigabyte allocation. 16384² is far beyond any camera this pipeline
+// targets (the paper's frames are full HD).
+constexpr int kMaxDimension = 16384;
+constexpr std::size_t kMaxPixels = std::size_t{1} << 28;  // 256 Mpixel
+
 // Skip whitespace and `#` comment lines between header tokens.
 void skip_separators(std::istream& in) {
   while (true) {
@@ -32,12 +39,22 @@ void skip_separators(std::istream& in) {
   }
 }
 
-int read_header_int(std::istream& in, const std::string& path) {
+int read_header_int(std::istream& in, const char* field,
+                    const std::string& path) {
   skip_separators(in);
+  // Reject signs explicitly: "-1" would otherwise parse and only be caught
+  // as a range error, with a misleading message.
+  const int first = in.peek();
+  if (first == std::istream::traits_type::eof() || first < '0' || first > '9')
+    throw Error{strprintf("malformed PGM header: %s is not a number in %s",
+                          field, path.c_str())};
   int v = 0;
-  if (!(in >> v)) throw Error{"malformed PGM header: " + path};
+  if (!(in >> v))  // overflow sets failbit
+    throw Error{strprintf("malformed PGM header: bad %s in %s", field,
+                          path.c_str())};
   return v;
 }
+
 }  // namespace
 
 FrameU8 read_pgm(const std::string& path) {
@@ -48,18 +65,29 @@ FrameU8 read_pgm(const std::string& path) {
   if (!in || magic[0] != 'P' || magic[1] != '5')
     throw Error{"not a binary PGM (P5): " + path};
 
-  const int width = read_header_int(in, path);
-  const int height = read_header_int(in, path);
-  const int maxval = read_header_int(in, path);
+  const int width = read_header_int(in, "width", path);
+  const int height = read_header_int(in, "height", path);
+  const int maxval = read_header_int(in, "maxval", path);
   if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255)
     throw Error{strprintf("unsupported PGM geometry %dx%d maxval=%d in %s",
                           width, height, maxval, path.c_str())};
-  in.get();  // single whitespace byte after maxval
+  if (width > kMaxDimension || height > kMaxDimension ||
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height) >
+          kMaxPixels)
+    throw Error{strprintf(
+        "implausible PGM dimensions %dx%d in %s (limit %d per axis, %zu "
+        "pixels total)",
+        width, height, path.c_str(), kMaxDimension, kMaxPixels)};
+  const int sep = in.get();  // single whitespace byte after maxval
+  if (sep != ' ' && sep != '\t' && sep != '\r' && sep != '\n')
+    throw Error{"malformed PGM header: missing whitespace after maxval in " +
+                path};
 
   FrameU8 image(width, height);
   in.read(reinterpret_cast<char*>(image.data()),
           static_cast<std::streamsize>(image.size()));
-  if (!in) throw Error{"truncated PGM payload: " + path};
+  if (!in || static_cast<std::size_t>(in.gcount()) != image.size())
+    throw Error{"truncated PGM payload: " + path};
   return image;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <tuple>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -406,6 +407,43 @@ TEST(ModelIo, RejectsGarbageAndMissingFiles) {
     out << "this is not a model";
   }
   EXPECT_THROW(load_model<double>(path, MogParams{}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTruncatedFile) {
+  SerialMog<double> mog{16, 16};
+  const std::string path = temp_model_path("mog_model_trunc.mogm");
+  save_model(path, mog.model());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);  // lose half the payload
+  try {
+    load_model<double>(path, MogParams{});
+    FAIL() << "truncated model loaded without error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion) {
+  SerialMog<double> mog{16, 16};
+  const std::string path = temp_model_path("mog_model_ver.mogm");
+  save_model(path, mog.model());
+  {
+    // Stamp a far-future format version into the header (offset 4).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const std::uint32_t version = 99;
+    f.write(reinterpret_cast<const char*>(&version), sizeof version);
+  }
+  try {
+    load_model<double>(path, MogParams{});
+    FAIL() << "future-version model loaded without error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

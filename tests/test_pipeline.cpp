@@ -87,6 +87,68 @@ TEST(GpuPipeline, TiledRequiresLevelF) {
   EXPECT_THROW(GpuMogPipeline<double>{cfg}, Error);
 }
 
+// Config-boundary checks carry actionable messages, not just a throw.
+TEST(GpuPipeline, ConfigBoundaryMessages) {
+  auto expect_message = [](auto&& fn, const char* needle) {
+    try {
+      fn();
+      FAIL() << "expected an Error mentioning \"" << needle << "\"";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_message(
+      [] {
+        GpuMogPipeline<double>::Config cfg;
+        cfg.width = 0;
+        cfg.height = kH;
+        GpuMogPipeline<double> pipe{cfg};
+      },
+      "bad pipeline dimensions");
+  expect_message(
+      [] {
+        GpuMogPipeline<double>::Config cfg;
+        cfg.width = kW;
+        cfg.height = kH;
+        cfg.tiled = true;
+        cfg.level = kernels::OptLevel::kC;
+        GpuMogPipeline<double> pipe{cfg};
+      },
+      "level F");
+  expect_message(
+      [] {
+        GpuMogPipeline<double>::Config cfg;
+        cfg.width = kW;
+        cfg.height = kH;
+        GpuMogPipeline<double> pipe{cfg};
+        FrameU8 wrong(kW / 2, kH), fg;
+        pipe.process(wrong, fg);
+      },
+      "frame dimensions");
+  expect_message(
+      [] {
+        GpuMogPipeline<double>::Config cfg;
+        cfg.width = kW;
+        cfg.height = kH;
+        GpuMogPipeline<double> pipe{cfg};
+        FrameU8 fg;
+        pipe.resume(fg);  // nothing interrupted: refuse, don't hang
+      },
+      "resume");
+}
+
+TEST(GpuPipeline, FlushOnNonTiledIsANoOp) {
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  GpuMogPipeline<double> pipe{cfg};
+  std::vector<FrameU8> out;
+  EXPECT_EQ(pipe.flush(out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(GpuPipeline, OverlapReducesModeledTime) {
   // Same kernel, different schedule: C (overlapped) must beat B.
   const SyntheticScene scene{[] {

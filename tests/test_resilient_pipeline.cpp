@@ -1,0 +1,301 @@
+// Tests for the self-healing pipeline wrapper: deterministic replay of a
+// faulty run, mask fidelity under sustained fault rates, the degradation
+// ladder, watchdog rollback, and checkpointing to disk.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mog/cpu/model_io.hpp"
+#include "mog/fault/fault_injector.hpp"
+#include "mog/fault/resilient_pipeline.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+using fault::ExecutionTier;
+using fault::FaultConfig;
+using fault::FaultInjector;
+using fault::FaultSite;
+using fault::RecoveryStats;
+using fault::ResilienceConfig;
+using fault::ResilientPipeline;
+
+constexpr int kW = 48, kH = 36;
+
+SyntheticScene quiet_scene() {
+  SceneConfig c;
+  c.width = kW;
+  c.height = kH;
+  c.noise_sd = 0.0;  // pixels sit far from decision boundaries
+  c.flicker_regions = false;
+  c.texture_fraction = 0.0;
+  return SyntheticScene{c};
+}
+
+ResilientPipeline<double>::GpuConfig gpu_config(bool tiled = false) {
+  ResilientPipeline<double>::GpuConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.level = kernels::OptLevel::kF;
+  if (tiled) {
+    cfg.tiled = true;
+    cfg.tiled_config.frame_group = 4;
+    cfg.tiled_config.tile_pixels = 64;
+  }
+  return cfg;
+}
+
+struct RunResult {
+  RecoveryStats stats;
+  fault::InjectionLog log;
+  std::vector<FrameU8> masks;
+  ExecutionTier final_tier = ExecutionTier::kTiledGpu;
+};
+
+RunResult run(const FaultConfig& faults, const ResilienceConfig& res,
+              int frames, bool tiled = false) {
+  const SyntheticScene scene = quiet_scene();
+  auto injector = std::make_shared<FaultInjector>(faults);
+  ResilientPipeline<double> pipe{gpu_config(tiled), res, injector};
+  RunResult out;
+  FrameU8 fg;
+  for (int t = 0; t < frames; ++t)
+    if (pipe.process(scene.frame(t), fg)) out.masks.push_back(fg);
+  std::vector<FrameU8> rest;
+  pipe.flush(rest);
+  for (auto& m : rest) out.masks.push_back(std::move(m));
+  out.stats = pipe.recovery_stats();
+  out.log = injector->log();
+  out.final_tier = pipe.tier();
+  return out;
+}
+
+TEST(ResilientPipeline, FaultFreeRunMatchesRawPipeline) {
+  const SyntheticScene scene = quiet_scene();
+  ResilientPipeline<double> resilient{gpu_config(), ResilienceConfig{}};
+  GpuMogPipeline<double> raw{gpu_config()};
+  FrameU8 fg_r, fg_g;
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(resilient.process(scene.frame(t), fg_r));
+    ASSERT_TRUE(raw.process(scene.frame(t), fg_g));
+    ASSERT_EQ(fg_r, fg_g) << "frame " << t;
+  }
+  const RecoveryStats& s = resilient.recovery_stats();
+  EXPECT_EQ(s.frames_in, 20u);
+  EXPECT_EQ(s.frames_absorbed, 20u);
+  EXPECT_EQ(s.masks_delivered, 20u);
+  EXPECT_EQ(s.masks_reused, 0u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(resilient.tier(), ExecutionTier::kGpuDirect);
+}
+
+TEST(ResilientPipeline, ReplayIsDeterministic) {
+  FaultConfig faults;
+  faults.seed = 1234;
+  faults.upload_fault_prob = 0.05;
+  faults.download_fault_prob = 0.05;
+  faults.frame_corrupt_prob = 0.02;
+  faults.frame_drop_prob = 0.01;
+  ResilienceConfig res;
+
+  const RunResult a = run(faults, res, 120);
+  const RunResult b = run(faults, res, 120);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.log, b.log);
+  ASSERT_EQ(a.masks.size(), b.masks.size());
+  for (std::size_t i = 0; i < a.masks.size(); ++i)
+    ASSERT_EQ(a.masks[i], b.masks[i]) << "mask " << i;
+
+  // A different seed takes a different recovery path.
+  FaultConfig other = faults;
+  other.seed = 4321;
+  const RunResult c = run(other, res, 120);
+  EXPECT_NE(c.log, a.log);
+}
+
+// The headline acceptance test: 5% transfer faults + 1% frame corruption
+// over 200+ frames completes with no uncaught exception, and the masks stay
+// faithful — mismatches vs the fault-free run are caused only by the bad
+// frames themselves, never by the transfer-fault recovery.
+TEST(ResilientPipeline, SustainedFaultsKeepMasksFaithful) {
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.upload_fault_prob = 0.05;
+  faults.download_fault_prob = 0.05;
+  faults.frame_corrupt_prob = 0.01;
+  ResilienceConfig res;
+  res.retry.max_attempts = 6;  // survives runs of bad luck at 5%
+  const int kFrames = 220;
+
+  const RunResult faulty = run(faults, res, kFrames);
+
+  EXPECT_EQ(faulty.stats.frames_in, static_cast<std::uint64_t>(kFrames));
+  // One mask per frame: salvage fills in for every lost or bad frame.
+  ASSERT_EQ(faulty.masks.size(), static_cast<std::size_t>(kFrames));
+  EXPECT_GT(faulty.stats.transfer_faults, 0u);
+  EXPECT_GT(faulty.stats.retries, 0u);
+  EXPECT_GT(faulty.stats.frames_corrupt, 0u);
+  EXPECT_EQ(faulty.stats.frames_lost, 0u);  // retries absorbed every fault
+  EXPECT_EQ(faulty.final_tier, ExecutionTier::kGpuDirect);  // no degradation
+
+  // Reference A: the same frame-level faults, but a fault-free device. The
+  // per-site RNG streams keep the frame faults identical, so retry/resume
+  // recovery must be *exact*: bit-identical masks on every frame.
+  FaultConfig frame_faults_only = faults;
+  frame_faults_only.upload_fault_prob = 0.0;
+  frame_faults_only.download_fault_prob = 0.0;
+  const RunResult reference = run(frame_faults_only, res, kFrames);
+  ASSERT_EQ(reference.masks.size(), static_cast<std::size_t>(kFrames));
+  EXPECT_EQ(reference.stats.frames_corrupt, faulty.stats.frames_corrupt);
+  for (int t = 0; t < kFrames; ++t)
+    ASSERT_EQ(faulty.masks[static_cast<std::size_t>(t)],
+              reference.masks[static_cast<std::size_t>(t)])
+        << "transfer-fault recovery changed the mask of frame " << t;
+
+  // Reference B: the fully fault-free run. Divergence can begin only at the
+  // first injected frame fault (a salvaged mask + one skipped update); every
+  // frame before that must match exactly.
+  const RunResult clean = run(FaultConfig{}, ResilienceConfig{}, kFrames);
+  ASSERT_EQ(clean.masks.size(), static_cast<std::size_t>(kFrames));
+  int first_frame_fault = kFrames;
+  {
+    FaultInjector probe{frame_faults_only};  // deterministic replay
+    const SyntheticScene scene = quiet_scene();
+    for (int t = 0; t < kFrames; ++t) {
+      FrameU8 f = scene.frame(t);
+      if (probe.apply_frame_faults(f) != fault::FrameFault::kNone) {
+        first_frame_fault = t;
+        break;
+      }
+    }
+  }
+  ASSERT_LT(first_frame_fault, kFrames);  // 1% over 220 frames: some fired
+  for (int t = 0; t < first_frame_fault; ++t)
+    ASSERT_EQ(faulty.masks[static_cast<std::size_t>(t)],
+              clean.masks[static_cast<std::size_t>(t)])
+        << "mask " << t << " diverged before any fault was injected";
+}
+
+TEST(ResilientPipeline, DegradationLadderReachesCpuAndKeepsProducing) {
+  // Permanent launch failure: retries can never succeed on either GPU tier,
+  // so the ladder must walk tiled -> direct -> CPU and stay functional.
+  FaultConfig faults;
+  faults.launch_fault_prob = 1.0;
+  ResilienceConfig res;
+  res.retry.max_attempts = 2;
+  res.degrade_after_failures = 2;
+
+  const SyntheticScene scene = quiet_scene();
+  auto injector = std::make_shared<FaultInjector>(faults);
+  ResilientPipeline<double> pipe{gpu_config(/*tiled=*/true), res, injector};
+  EXPECT_EQ(pipe.tier(), ExecutionTier::kTiledGpu);
+
+  FrameU8 fg;
+  int delivered = 0;
+  for (int t = 0; t < 40; ++t)
+    if (pipe.process(scene.frame(t), fg)) {
+      ++delivered;
+      EXPECT_EQ(fg.width(), kW);
+    }
+  EXPECT_EQ(pipe.tier(), ExecutionTier::kCpuSerial);
+  EXPECT_EQ(pipe.gpu_pipeline(), nullptr);
+  EXPECT_EQ(pipe.recovery_stats().degradations, 2u);
+  EXPECT_GT(pipe.recovery_stats().launch_faults, 0u);
+  // Once on the CPU tier every frame yields a real mask again.
+  EXPECT_GT(delivered, 10);
+  const FrameU8 bg = pipe.background();
+  EXPECT_EQ(bg.width(), kW);
+}
+
+TEST(ResilientPipeline, WatchdogRollsBackPoisonedModel) {
+  // Pin exactly one model-memory fault shortly after the first checkpoint;
+  // the next watchdog scan must detect the NaN and restore the checkpoint.
+  FaultConfig faults;
+  faults.schedule.push_back({FaultSite::kModelMemory, 24});
+  ResilienceConfig res;
+  res.checkpoint_interval = 16;
+  res.health_check_interval = 8;
+  res.health_check_stride = 1;
+
+  const RunResult r = run(faults, res, 64);
+  EXPECT_EQ(r.log.model_corruptions, 1u);
+  EXPECT_GE(r.stats.checkpoints, 1u);
+  EXPECT_EQ(r.stats.rollbacks, 1u);
+  // The run ends healthy: rollback purged the NaN.
+  const RunResult replay = run(faults, res, 64);
+  EXPECT_EQ(replay.stats, r.stats);
+}
+
+TEST(ResilientPipeline, CheckpointsToDiskWithValidCrc) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_resilient_ckpt.mogm")
+          .string();
+  ResilienceConfig res;
+  res.checkpoint_interval = 10;
+  res.checkpoint_path = path;
+
+  const SyntheticScene scene = quiet_scene();
+  ResilientPipeline<double> pipe{gpu_config(), res};
+  FrameU8 fg;
+  for (int t = 0; t < 25; ++t) pipe.process(scene.frame(t), fg);
+  EXPECT_EQ(pipe.recovery_stats().checkpoints, 2u);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  // The snapshot round-trips through the CRC-checked loader.
+  const MogModel<double> loaded = load_model<double>(path, MogParams{});
+  EXPECT_EQ(loaded.width(), kW);
+  EXPECT_EQ(loaded.height(), kH);
+  std::filesystem::remove(path);
+}
+
+TEST(ResilientPipeline, TiledFlushRecoversPartialGroup) {
+  FaultConfig faults;
+  // Fail the very first download attempt of the flushed partial group; the
+  // retry inside flush() must resume and still deliver the masks.
+  faults.schedule.push_back({FaultSite::kDownload, 0});
+  ResilienceConfig res;
+
+  const SyntheticScene scene = quiet_scene();
+  auto injector = std::make_shared<FaultInjector>(faults);
+  ResilientPipeline<double> pipe{gpu_config(/*tiled=*/true), res, injector};
+  FrameU8 fg;
+  // Two frames buffered: less than the group of 4, so nothing delivered yet.
+  EXPECT_FALSE(pipe.process(scene.frame(0), fg));
+  EXPECT_FALSE(pipe.process(scene.frame(1), fg));
+  std::vector<FrameU8> rest;
+  EXPECT_EQ(pipe.flush(rest), 2);
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(pipe.recovery_stats().transfer_faults, 1u);
+  EXPECT_EQ(pipe.recovery_stats().retries, 1u);
+}
+
+TEST(ResilientPipeline, DroppedFramesReuseLastMask) {
+  FaultConfig faults;
+  faults.schedule.push_back({FaultSite::kFrameDrop, 5});
+  faults.schedule.push_back({FaultSite::kFrameTruncate, 7});
+  ResilienceConfig res;
+
+  const RunResult r = run(faults, res, 12);
+  EXPECT_EQ(r.stats.frames_dropped, 1u);
+  EXPECT_EQ(r.stats.frames_truncated, 1u);
+  EXPECT_EQ(r.stats.masks_reused, 2u);
+  EXPECT_EQ(r.stats.frames_absorbed, 10u);
+  ASSERT_EQ(r.masks.size(), 12u);
+  // The dropped frame's mask is a byte-identical reuse of its predecessor.
+  EXPECT_EQ(r.masks[5], r.masks[4]);
+}
+
+TEST(ResilientPipeline, RejectsInvalidResilienceConfig) {
+  ResilienceConfig res;
+  res.retry.max_attempts = 0;
+  EXPECT_THROW((ResilientPipeline<double>{gpu_config(), res}), Error);
+  res = ResilienceConfig{};
+  res.weight_drift_tolerance = 0.0;
+  EXPECT_THROW((ResilientPipeline<double>{gpu_config(), res}), Error);
+}
+
+}  // namespace
+}  // namespace mog

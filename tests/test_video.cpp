@@ -234,5 +234,62 @@ TEST(PnmIo, MissingFileThrows) {
   EXPECT_THROW(read_pgm("/nonexistent/dir/file.pgm"), Error);
 }
 
+// --- hostile-header hardening ----------------------------------------------
+
+std::string write_raw_pgm(const char* name, const std::string& bytes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(fp, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), fp);
+  std::fclose(fp);
+  return path;
+}
+
+void expect_read_error(const std::string& path, const char* needle) {
+  try {
+    read_pgm(path);
+    FAIL() << "expected read_pgm to reject " << path;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, RejectsNonNumericHeaderFields) {
+  expect_read_error(write_raw_pgm("mog_pgm_alpha.pgm", "P5\nabc 10\n255\nx"),
+                    "not a number");
+  // Signed values are rejected up front, not parsed and range-checked.
+  expect_read_error(write_raw_pgm("mog_pgm_neg.pgm", "P5\n-3 10\n255\nx"),
+                    "not a number");
+}
+
+TEST(PnmIo, RejectsOverflowingHeaderValues) {
+  expect_read_error(
+      write_raw_pgm("mog_pgm_huge.pgm", "P5\n99999999999999999999 4\n255\nx"),
+      "bad width");
+}
+
+TEST(PnmIo, RejectsImplausibleDimensions) {
+  // Parses fine but would demand a giant allocation: capped per axis.
+  expect_read_error(write_raw_pgm("mog_pgm_dim.pgm", "P5\n20000 2\n255\nx"),
+                    "implausible");
+}
+
+TEST(PnmIo, RejectsBadMaxval) {
+  expect_read_error(write_raw_pgm("mog_pgm_mv0.pgm", "P5\n2 2\n0\nABCD"),
+                    "maxval");
+  expect_read_error(write_raw_pgm("mog_pgm_mv16.pgm", "P5\n2 2\n65535\nABCD"),
+                    "maxval");
+}
+
+TEST(PnmIo, RejectsMissingWhitespaceAfterMaxval) {
+  expect_read_error(write_raw_pgm("mog_pgm_nosep.pgm", "P5\n2 2\n255"),
+                    "whitespace");
+  expect_read_error(write_raw_pgm("mog_pgm_badsep.pgm", "P5\n2 2\n255XABCD"),
+                    "whitespace");
+}
+
 }  // namespace
 }  // namespace mog
