@@ -49,4 +49,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("ablation_blocksize", mog::bench::epilogue)

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "mog/gpusim/coalescer.hpp"
 #include "mog/gpusim/timing_constants.hpp"
 
@@ -85,14 +86,20 @@ void epilogue() {
   for (const bool aos : {true, false})
     for (const unsigned elem : {8u, 4u}) {
       const KernelStats s = replay_layout(aos, elem, 3);
-      std::printf("%-20s %10llu %10llu %10.1f %10llu\n",
-                  (std::string(aos ? "AoS" : "SoA") + " " +
-                   std::to_string(elem) + "B x3 comps")
-                      .c_str(),
+      const std::string label = std::string(aos ? "AoS" : "SoA") + " " +
+                                std::to_string(elem) + "B x3 comps";
+      std::printf("%-20s %10llu %10llu %10.1f %10llu\n", label.c_str(),
                   static_cast<unsigned long long>(s.load_transactions),
                   static_cast<unsigned long long>(s.store_transactions),
                   100.0 * s.memory_access_efficiency(),
                   static_cast<unsigned long long>(s.issue_cycles));
+      reporter()
+          .add_case(label)
+          .metric("load_transactions", static_cast<double>(s.load_transactions))
+          .metric("store_transactions",
+                  static_cast<double>(s.store_transactions))
+          .metric("memory_access_efficiency", s.memory_access_efficiency())
+          .metric("replay_cycles", static_cast<double>(s.issue_cycles));
     }
   std::printf(
       "(paper Fig. 4: the AoS layout turns each warp access into a strided "
@@ -102,11 +109,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("ablation_coalescing", mog::bench::epilogue)

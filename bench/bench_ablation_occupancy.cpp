@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mog/gpusim/occupancy.hpp"
 
 namespace mog::bench {
@@ -39,6 +40,11 @@ void epilogue() {
     std::printf("%-8d %10d %10d %12.1f %14s\n", regs, occ.blocks_per_sm,
                 occ.warps_per_sm, 100.0 * occ.theoretical,
                 to_string(occ.limiter));
+    reporter()
+        .add_case("regs=" + std::to_string(regs) + " tpb=128")
+        .metric("blocks_per_sm", occ.blocks_per_sm)
+        .metric("warps_per_sm", occ.warps_per_sm)
+        .metric("occupancy_theoretical", occ.theoretical);
   }
   std::printf(
       "\n=== Occupancy vs shared memory (640 threads/block, 20 regs) ===\n");
@@ -50,6 +56,10 @@ void epilogue() {
                                   static_cast<std::uint64_t>(kb) * 1024);
     std::printf("%-14d %10d %12.1f %14s\n", kb * 1024, occ.blocks_per_sm,
                 100.0 * occ.theoretical, to_string(occ.limiter));
+    reporter()
+        .add_case("shared=" + std::to_string(kb) + "KB tpb=640")
+        .metric("blocks_per_sm", occ.blocks_per_sm)
+        .metric("occupancy_theoretical", occ.theoretical);
   }
   std::printf(
       "(the tiled kernel's 46 KB/block footprint pins one block per SM — "
@@ -59,11 +69,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("ablation_occupancy", mog::bench::epilogue)

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mog/gpusim/device_spec.hpp"
 #include "mog/gpusim/stream_sim.hpp"
 #include "mog/gpusim/transfer_model.hpp"
@@ -57,6 +58,14 @@ void epilogue() {
     std::printf("%-14.1f %12.2f %12.2f %12.2f %13.1f%%\n", kernel_ms,
                 transfers_ms, seq, ovl,
                 100.0 * transfers_ms / (transfers_ms + kernel_ms));
+    char label[32];
+    std::snprintf(label, sizeof label, "kernel_ms=%.1f", kernel_ms);
+    reporter()
+        .add_case(label)
+        .metric("transfers_ms", transfers_ms)
+        .metric("sequential_seconds", seq)
+        .metric("overlapped_seconds", ovl)
+        .metric("overlap_gain", 1.0 - ovl / seq);
   }
   std::printf(
       "(at the paper's B-level kernel time of ~8.9 ms the transfers are "
@@ -75,11 +84,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("ablation_overlap", mog::bench::epilogue)

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "mog/cpu/cost_model.hpp"
 #include "mog/cpu/parallel_mog.hpp"
 #include "mog/cpu/serial_mog.hpp"
@@ -107,8 +108,13 @@ void epilogue() {
   std::printf(
       "\n=== CPU baselines — modeled seconds for 450 full-HD frames ===\n");
   std::printf("%-22s %12s %12s\n", "", "modeled_s", "paper_s");
-  for (const Line& l : lines)
+  for (const Line& l : lines) {
     std::printf("%-22s %12.1f %12.1f\n", l.label, l.modeled, l.paper);
+    reporter()
+        .add_case(l.label)
+        .metric("modeled_seconds", l.modeled)
+        .metric("paper_seconds", l.paper);
+  }
   std::printf(
       "(measured per-pixel throughput of the real implementations is in the "
       "benchmark rows above; modeled seconds anchor the speedup ratios)\n");
@@ -117,11 +123,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("cpu_baselines", mog::bench::epilogue)

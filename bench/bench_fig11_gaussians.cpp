@@ -54,4 +54,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("fig11_gaussians", mog::bench::epilogue)

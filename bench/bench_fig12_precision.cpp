@@ -58,4 +58,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("fig12_precision", mog::bench::epilogue)

@@ -52,4 +52,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("fig6_general_arch", mog::bench::epilogue)

@@ -53,4 +53,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("fig7_algspec_arch", mog::bench::epilogue)

@@ -57,4 +57,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-MOG_BENCH_MAIN(mog::bench::epilogue)
+MOG_BENCH_MAIN("fig8_speedup", mog::bench::epilogue)

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mog/gpusim/transfer_model.hpp"
 #include "mog/pipeline/experiment.hpp"
 
@@ -91,6 +92,12 @@ void epilogue() {
     std::printf("%-28s %12.1f %12.1f %12.1f %10.1f\n", pt.name,
                 fps_at(r, kResolutions[0]), fps_at(r, kResolutions[1]),
                 fps_at(r, kResolutions[2]), 100.0 * r.occupancy.achieved);
+    reporter()
+        .add_case(pt.name)
+        .metric("fps_1080p", fps_at(r, kResolutions[0]))
+        .metric("fps_720p", fps_at(r, kResolutions[1]))
+        .metric("fps_480p", fps_at(r, kResolutions[2]))
+        .metric("occupancy", r.occupancy.achieved);
   }
   std::printf(
       "(real-time = 30-60 fps: the embedded part cannot run the paper's "
@@ -103,11 +110,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("future_embedded", mog::bench::epilogue)

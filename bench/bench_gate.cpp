@@ -1,0 +1,107 @@
+// CI perf-regression gate over BENCH_*.json reports.
+//
+// Usage:
+//   bench_gate <baseline.json> <fresh.json>   [options]
+//   bench_gate <baseline_dir>  <fresh_dir>    [options]
+//
+// Directory mode pairs every BENCH_*.json in the baseline directory with the
+// same-named file in the fresh directory (a missing fresh file fails the
+// gate; extra fresh reports are ignored so new benches can land before their
+// baselines). Exit code 0 = all metrics within tolerance, 1 = regression or
+// usage error.
+//
+// Options:
+//   --rel-tol X      default relative tolerance band (default 0.02)
+//   --include-wall   also gate metrics prefixed "wall_" (off by default)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mog/common/error.hpp"
+#include "mog/telemetry/gate.hpp"
+#include "mog/telemetry/json.hpp"
+
+namespace fs = std::filesystem;
+using mog::telemetry::GateOptions;
+using mog::telemetry::GateResult;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline file|dir> <fresh file|dir> "
+               "[--rel-tol X] [--include-wall]\n",
+               argv0);
+  return 1;
+}
+
+/// Gate one baseline file against one fresh file; prints the verdict table.
+bool gate_pair(const fs::path& baseline, const fs::path& fresh,
+               const GateOptions& options) {
+  const std::string label = baseline.filename().string();
+  if (!fs::exists(fresh)) {
+    std::printf("FAIL %s: fresh report %s missing\n", label.c_str(),
+                fresh.string().c_str());
+    return false;
+  }
+  const GateResult result = mog::telemetry::gate_reports(
+      mog::telemetry::read_json_file(baseline.string()),
+      mog::telemetry::read_json_file(fresh.string()), options);
+  std::printf("%s\n",
+              mog::telemetry::format_gate_result(label, result).c_str());
+  return result.ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  GateOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--include-wall") == 0) {
+      options.include_wall = true;
+    } else if (std::strcmp(argv[i], "--rel-tol") == 0) {
+      if (++i == argc) return usage(argv[0]);
+      options.default_rel_tol = std::atof(argv[i]);
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return usage(argv[0]);
+
+  const fs::path baseline{positional[0]};
+  const fs::path fresh{positional[1]};
+
+  try {
+    if (!fs::is_directory(baseline))
+      return gate_pair(baseline, fresh, options) ? 0 : 1;
+
+    // Directory mode: every checked-in baseline must have a fresh twin.
+    std::vector<fs::path> baselines;
+    for (const auto& entry : fs::directory_iterator(baseline)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json")
+        baselines.push_back(entry.path());
+    }
+    std::sort(baselines.begin(), baselines.end());
+    if (baselines.empty()) {
+      std::fprintf(stderr, "no BENCH_*.json baselines in %s\n",
+                   baseline.string().c_str());
+      return 1;
+    }
+    bool ok = true;
+    for (const fs::path& b : baselines)
+      ok = gate_pair(b, fresh / b.filename(), options) && ok;
+    std::printf("\nbench_gate: %s (%zu report%s)\n", ok ? "PASS" : "FAIL",
+                baselines.size(), baselines.size() == 1 ? "" : "s");
+    return ok ? 0 : 1;
+  } catch (const mog::Error& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 1;
+  }
+}

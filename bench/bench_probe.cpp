@@ -7,10 +7,16 @@
 
 #include "mog/common/strutil.hpp"
 #include "mog/pipeline/experiment.hpp"
+#include "mog/telemetry/bench_report.hpp"
 
 using namespace mog;
 
 namespace {
+
+telemetry::BenchReporter& reporter() {
+  static telemetry::BenchReporter r;
+  return r;
+}
 
 ExperimentConfig base_config() {
   ExperimentConfig cfg;
@@ -24,7 +30,7 @@ ExperimentConfig base_config() {
   return cfg;
 }
 
-void print_result(const ExperimentResult& r) {
+void print_result(const std::string& section, const ExperimentResult& r) {
   const auto& s = r.per_frame;
   // Per-frame counters scaled to full-HD for comparability with the paper.
   const double ratio =
@@ -49,16 +55,28 @@ void print_result(const ExperimentResult& r) {
       static_cast<double>(s.branches_executed) * ratio / 1e6,
       static_cast<double>(s.dram_page_switches) * ratio / 1e3,
       warps > 0 ? static_cast<double>(s.issue_cycles) / warps : 0.0);
+
+  reporter().set_workload(r.config.width, r.config.height, r.config.frames);
+  reporter()
+      .add_case(section + "/" + r.config.label())
+      .metric("speedup", r.speedup)
+      .metric("kernel_ms_fullhd", 1e3 * r.kernel_timing.total_seconds * ratio)
+      .metric("occupancy", r.occupancy.achieved)
+      .metric("branch_efficiency", s.branch_efficiency())
+      .metric("memory_access_efficiency", s.memory_access_efficiency())
+      .counters(s);
 }
 
 }  // namespace
 
 int main() {
+  reporter().set_name("probe");
+
   std::printf("== optimization ladder (K=3, double) — paper: 13/41/57/85/86/97x ==\n");
   for (kernels::OptLevel level : kernels::kAllLevels) {
     ExperimentConfig cfg = base_config();
     cfg.level = level;
-    print_result(run_gpu_experiment(cfg));
+    print_result("ladder", run_gpu_experiment(cfg));
   }
 
   std::printf("\n== tiled sweep (double) — paper: peak 101x @ g=8; occ 40->38%%; mem_eff >90 -> <60%% ==\n");
@@ -68,7 +86,7 @@ int main() {
     cfg.tiled = true;
     cfg.tiled_config.frame_group = g;
     cfg.frames = std::max(cfg.frames, 2 * g);
-    print_result(run_gpu_experiment(cfg));
+    print_result("tiled", run_gpu_experiment(cfg));
   }
 
   std::printf("\n== float (paper: F 105x) and 5-Gaussian (paper: C 44x, F 92x) ==\n");
@@ -77,14 +95,20 @@ int main() {
     ExperimentConfig cfg = base_config();
     cfg.level = level;
     cfg.precision = Precision::kFloat;
-    print_result(run_gpu_experiment(cfg));
+    print_result("float", run_gpu_experiment(cfg));
   }
   for (kernels::OptLevel level :
        {kernels::OptLevel::kC, kernels::OptLevel::kF}) {
     ExperimentConfig cfg = base_config();
     cfg.level = level;
     cfg.params.num_components = 5;
-    print_result(run_gpu_experiment(cfg));
+    print_result("k5", run_gpu_experiment(cfg));
+  }
+
+  if (std::getenv("MOG_BENCH_NO_REPORT") == nullptr) {
+    const char* dir = std::getenv("MOG_BENCH_REPORT_DIR");
+    const std::string path = reporter().write_file(dir != nullptr ? dir : ".");
+    std::printf("\nbench report: %s\n", path.c_str());
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "mog/cpu/adaptive_mog.hpp"
 #include "mog/gpusim/timing_model.hpp"
 #include "mog/kernels/adaptive_kernel.hpp"
@@ -139,6 +140,16 @@ void epilogue() {
                 100.0 * c.lane_utilization, c.adaptive_kernel_ms,
                 c.fixed_kernel_ms, 100.0 * c.adaptive_mem_eff,
                 100.0 * c.fixed_mem_eff);
+    char label[32];
+    std::snprintf(label, sizeof label, "texture=%.0f%%", 100.0 * texture);
+    reporter()
+        .add_case(label)
+        .metric("cpu_mean_active_components", c.cpu_mean_active)
+        .metric("lane_utilization", c.lane_utilization)
+        .metric("adaptive_kernel_ms", c.adaptive_kernel_ms)
+        .metric("fixed_kernel_ms", c.fixed_kernel_ms)
+        .metric("adaptive_mem_efficiency", c.adaptive_mem_eff)
+        .metric("fixed_mem_efficiency", c.fixed_mem_eff);
   }
   std::printf(
       "(the paper's §II argument, quantified: the CPU-side win — mean "
@@ -150,11 +161,4 @@ void epilogue() {
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("related_work", mog::bench::epilogue)

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mog/cpu/cost_model.hpp"
 #include "mog/gpusim/device_spec.hpp"
 #include "mog/gpusim/kernel_launch.hpp"
@@ -55,16 +56,22 @@ void epilogue() {
               describe_device(gpu).c_str());
   std::printf("Derived: %.1f DRAM bytes/core-cycle\n",
               gpu.dram_bytes_per_cycle());
+
+  reporter()
+      .add_case("simulated_device")
+      .metric("num_sms", gpu.num_sms)
+      .metric("cores_per_sm", gpu.cores_per_sm)
+      .metric("core_clock_ghz", gpu.core_clock_ghz)
+      .metric("dram_bandwidth_gbps", gpu.dram_bandwidth_gbps)
+      .metric("dram_bytes_per_cycle", gpu.dram_bytes_per_cycle());
+  reporter()
+      .add_case("paper_cpu")
+      .metric("cores", cpu.cores)
+      .metric("frequency_ghz", cpu.frequency_ghz)
+      .metric("mem_bw_gbps", cpu.mem_bw_gbps);
 }
 
 }  // namespace
 }  // namespace mog::bench
 
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  mog::bench::epilogue();
-  return 0;
-}
+MOG_BENCH_MAIN("table1_hwconfig", mog::bench::epilogue)

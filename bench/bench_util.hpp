@@ -4,6 +4,13 @@
 // configuration (Iterations(1) — the simulator is deterministic), records
 // the ExperimentResult, and prints a paper-vs-measured table after the run.
 //
+// Every binary also feeds a telemetry::BenchReporter and, unless
+// MOG_BENCH_NO_REPORT is set, writes a schema-versioned machine-readable
+// BENCH_<name>.json into MOG_BENCH_REPORT_DIR (default: the working
+// directory) on exit. CI diffs these against bench/baselines/ with the
+// bench_gate binary; metrics prefixed "wall_" are wall-clock noise and are
+// not gated.
+//
 // Workload scale is reduced by default (counters are per-warp properties and
 // both timing models are linear in pixels/frames; see DESIGN.md §2) and can
 // be overridden with MOG_BENCH_WIDTH / MOG_BENCH_HEIGHT / MOG_BENCH_FRAMES.
@@ -11,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "mog/pipeline/experiment.hpp"
+#include "mog/telemetry/bench_report.hpp"
 
 namespace mog::bench {
 
@@ -39,6 +48,28 @@ inline ExperimentConfig base_config() {
 /// Ratio that scales per-frame counters to the paper's full-HD frame.
 inline double fullhd_ratio(const ExperimentConfig& cfg) {
   return (1920.0 * 1080.0) / (static_cast<double>(cfg.width) * cfg.height);
+}
+
+/// The process-wide bench report, named by MOG_BENCH_MAIN.
+inline telemetry::BenchReporter& reporter() {
+  static telemetry::BenchReporter r;
+  return r;
+}
+
+/// Write the report (honoring MOG_BENCH_REPORT_DIR / MOG_BENCH_NO_REPORT);
+/// returns a process exit code.
+inline int finish_bench_report() {
+  if (std::getenv("MOG_BENCH_NO_REPORT") != nullptr) return 0;
+  const char* dir = std::getenv("MOG_BENCH_REPORT_DIR");
+  try {
+    const std::string path =
+        reporter().write_file(dir != nullptr ? dir : ".");
+    std::printf("\nbench report: %s\n", path.c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
+    return 1;
+  }
 }
 
 /// Result registry keyed by row label, filled by benchmark bodies and
@@ -65,13 +96,20 @@ class Registry {
 };
 
 /// Run one experiment inside a benchmark body, exporting headline counters
-/// to the benchmark UI and stashing the full result for the table printer.
+/// to the benchmark UI, stashing the full result for the table printer, and
+/// adding a case (headline metrics + full per-frame counter set) to the
+/// machine-readable report.
 inline void run_and_record(benchmark::State& state, const std::string& key,
                            const ExperimentConfig& cfg) {
   ExperimentResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto _ : state) {
     result = run_gpu_experiment(cfg);
   }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   state.counters["speedup_x"] = result.speedup;
   state.counters["kernel_ms_fullhd"] =
       1e3 * result.kernel_timing.total_seconds * fullhd_ratio(cfg);
@@ -81,6 +119,24 @@ inline void run_and_record(benchmark::State& state, const std::string& key,
   state.counters["mem_eff_pct"] =
       100.0 * result.per_frame.memory_access_efficiency();
   Registry::instance().put(key, result);
+
+  reporter().set_workload(cfg.width, cfg.height, cfg.frames);
+  // Mask disagreement counts flipped pixels near decision thresholds; give
+  // it a wide band so FP-contraction differences between compilers cannot
+  // trip the gate.
+  reporter().set_tolerance("fg_disagreement", 0.25);
+  reporter()
+      .add_case(key)
+      .metric("speedup", result.speedup)
+      .metric("modeled_gpu_seconds", result.gpu_seconds)
+      .metric("modeled_cpu_seconds", result.cpu_seconds)
+      .metric("gpu_seconds_fullhd450", result.gpu_seconds_fullhd450)
+      .metric("kernel_ms_fullhd",
+              1e3 * result.kernel_timing.total_seconds * fullhd_ratio(cfg))
+      .metric("occupancy", result.occupancy.achieved)
+      .metric("fg_disagreement", result.fg_disagreement)
+      .metric("wall_ms", wall_ms)
+      .counters(result.per_frame);
 }
 
 // --- table printing ----------------------------------------------------------
@@ -106,16 +162,18 @@ inline void print_table(const std::string& title,
   if (!footnote.empty()) std::printf("%s\n", footnote.c_str());
 }
 
-/// Standard main: run benchmarks, then the bench-specific epilogue.
-#define MOG_BENCH_MAIN(epilogue)                                   \
+/// Standard main: name the report, run benchmarks, run the bench-specific
+/// epilogue, then write BENCH_<name>.json.
+#define MOG_BENCH_MAIN(bench_name, epilogue)                       \
   int main(int argc, char** argv) {                                \
+    ::mog::bench::reporter().set_name(bench_name);                 \
     ::benchmark::Initialize(&argc, argv);                          \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))      \
       return 1;                                                    \
     ::benchmark::RunSpecifiedBenchmarks();                         \
     ::benchmark::Shutdown();                                       \
     epilogue();                                                    \
-    return 0;                                                      \
+    return ::mog::bench::finish_bench_report();                    \
   }
 
 }  // namespace mog::bench

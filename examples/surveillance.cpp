@@ -21,6 +21,7 @@
 #include "mog/fault/fault_injector.hpp"
 #include "mog/fault/resilient_pipeline.hpp"
 #include "mog/metrics/confusion.hpp"
+#include "mog/telemetry/telemetry.hpp"
 #include "mog/video/pnm_io.hpp"
 #include "mog/video/scene.hpp"
 
@@ -111,6 +112,14 @@ int main(int argc, char** argv) try {
   fault_cfg.frame_drop_prob = fault_rate / 4;
   auto injector = std::make_shared<mog::fault::FaultInjector>(fault_cfg);
 
+  // Telemetry: trace every upload/kernel/download span plus the recovery
+  // events, and aggregate per-launch profiler counters. Installed before the
+  // pipeline so its device picks up the counter sink at construction.
+  mog::telemetry::TraceRecorder trace;
+  mog::telemetry::CounterRegistry counters;
+  mog::telemetry::set_tracer(&trace);
+  mog::telemetry::set_counters(&counters);
+
   mog::fault::ResilienceConfig res_cfg;
   res_cfg.checkpoint_interval = 64;
   res_cfg.health_check_interval = 16;
@@ -166,6 +175,16 @@ int main(int argc, char** argv) try {
         1e3 * gpu->per_frame_kernel_timing().total_seconds,
         100.0 * gpu->occupancy().achieved, gpu->modeled_seconds());
   }
+
+  const std::string trace_path = out_dir + "/surveillance_trace.json";
+  trace.write(trace_path);
+  std::printf("\ntelemetry: %zu trace events -> %s (open in ui.perfetto.dev "
+              "or chrome://tracing)\n",
+              trace.size(), trace_path.c_str());
+  std::printf("%s", counters.summary(static_cast<std::uint64_t>(
+                                         truth_frames)).c_str());
+  mog::telemetry::set_tracer(nullptr);
+  mog::telemetry::set_counters(nullptr);
   return 0;
 } catch (const mog::Error& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in bench-smoke baselines after an intentional model
+# change. Run from the repo root with an up-to-date build tree:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+#   cmake --build build -j
+#   scripts/regen_baselines.sh [build_dir]
+#
+# The workload must stay in sync with the bench-smoke tests registered in
+# bench/CMakeLists.txt (192x108, 12 frames) — the gate compares like for
+# like. Review the resulting diff before committing: every changed metric is
+# a model change you are consciously accepting.
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+export MOG_BENCH_WIDTH=192
+export MOG_BENCH_HEIGHT=108
+export MOG_BENCH_FRAMES=12
+export MOG_BENCH_REPORT_DIR="$repo_root/bench/baselines"
+
+for bench in bench_fig8_speedup bench_fig10_tiled; do
+  echo "== $bench =="
+  "$build_dir/bench/$bench" > /dev/null
+done
+
+echo "baselines written to $MOG_BENCH_REPORT_DIR:"
+git -C "$repo_root" diff --stat -- bench/baselines

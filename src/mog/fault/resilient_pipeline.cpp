@@ -4,6 +4,7 @@
 
 #include "mog/common/strutil.hpp"
 #include "mog/cpu/model_io.hpp"
+#include "mog/telemetry/telemetry.hpp"
 
 namespace mog::fault {
 
@@ -142,6 +143,8 @@ bool ResilientPipeline<T>::salvage(FrameU8& fg, std::uint64_t& counter) {
   ++stats_.masks_reused;
   ++stats_.masks_delivered;
   fg = last_mask_;
+  telemetry::emit_instant("mask_salvaged", "recovery",
+                          {{"frame", static_cast<double>(stats_.frames_in)}});
   return true;
 }
 
@@ -197,6 +200,8 @@ bool ResilientPipeline<T>::run_gpu_with_retry(const FrameU8& frame,
       stats_.backoff_seconds +=
           res_.retry.backoff_base_seconds *
           std::pow(res_.retry.backoff_multiplier, attempt - 2);
+      telemetry::emit_instant("retry", "recovery",
+                              {{"attempt", static_cast<double>(attempt)}});
     }
     try {
       // A failed download leaves the pipeline in_flight(); resume() fetches
@@ -211,8 +216,10 @@ bool ResilientPipeline<T>::run_gpu_with_retry(const FrameU8& frame,
       return true;
     } catch (const gpusim::TransferError&) {
       ++stats_.transfer_faults;
+      telemetry::emit_instant("transfer_fault", "fault");
     } catch (const gpusim::LaunchError&) {
       ++stats_.launch_faults;
+      telemetry::emit_instant("launch_fault", "fault");
     }
   }
 
@@ -245,12 +252,16 @@ void ResilientPipeline<T>::degrade() {
                               gpu_config_.params);
   }
 
+  const ExecutionTier from = tier_;
   tier_ = tier_ == ExecutionTier::kTiledGpu ? ExecutionTier::kGpuDirect
                                             : ExecutionTier::kCpuSerial;
   build_engine(tier_);
   restore_model(carry);
   ++stats_.degradations;
   consecutive_lost_ = 0;
+  telemetry::emit_instant("degrade", "recovery",
+                          {{"from_tier", static_cast<double>(from)},
+                           {"to_tier", static_cast<double>(tier_)}});
 }
 
 template <typename T>
@@ -293,6 +304,8 @@ void ResilientPipeline<T>::after_absorbed_frame() {
 template <typename T>
 void ResilientPipeline<T>::rollback() {
   ++stats_.rollbacks;
+  telemetry::emit_instant("rollback", "recovery",
+                          {{"has_checkpoint", has_checkpoint_ ? 1.0 : 0.0}});
   if (has_checkpoint_) {
     restore_model(checkpoint_);
   } else {
@@ -312,6 +325,9 @@ void ResilientPipeline<T>::take_checkpoint() {
   checkpoint_ = std::move(snapshot);
   has_checkpoint_ = true;
   ++stats_.checkpoints;
+  telemetry::emit_instant(
+      "checkpoint", "recovery",
+      {{"frame", static_cast<double>(stats_.frames_absorbed)}});
   if (!res_.checkpoint_path.empty())
     save_model(res_.checkpoint_path, checkpoint_);
 }

@@ -111,6 +111,13 @@ class Device {
   void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  /// Install a counter export hook (non-owning; nullptr detaches). The sink
+  /// observes the finalized KernelStats of every successful launch — this is
+  /// how the telemetry layer aggregates per-launch counters without the
+  /// pipeline having to forward them by hand.
+  void set_stats_sink(StatsSink* sink) { stats_sink_ = sink; }
+  StatsSink* stats_sink() const { return stats_sink_; }
+
   /// Hooked host->device DMA transfer: may throw TransferError, and the
   /// installed hook may corrupt the delivered payload in place.
   template <typename T>
@@ -171,6 +178,7 @@ class Device {
         static_cast<int>(peak_reg_words * kRegisterPressureScale + 0.5) +
             kAbiRegisterWords,
         spec_.max_registers_per_thread);
+    if (stats_sink_ != nullptr) stats_sink_->on_kernel_launch(stats);
     return stats;
   }
 
@@ -181,6 +189,7 @@ class Device {
   DeviceMemory memory_;
   std::vector<std::byte> shared_arena_;
   FaultHook* fault_hook_ = nullptr;
+  StatsSink* stats_sink_ = nullptr;
 };
 
 }  // namespace mog::gpusim

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "mog/common/error.hpp"
+
 namespace mog::gpusim {
 
 struct KernelStats {
@@ -70,8 +72,15 @@ struct KernelStats {
   }
 
   /// Accumulate another launch's counters (launch shape fields must match;
-  /// regs take the max so a warm-up launch cannot under-report).
+  /// regs take the max so a warm-up launch cannot under-report). Mixing
+  /// launches of different block shapes is an error in every build type —
+  /// the per-launch resource fields (and the occupancy derived from them)
+  /// would silently describe neither launch.
   KernelStats& operator+=(const KernelStats& other) {
+    MOG_CHECK(threads_per_block == 0 || other.threads_per_block == 0 ||
+                  threads_per_block == other.threads_per_block,
+              "accumulating KernelStats across mismatched launch shapes "
+              "(threads_per_block differs)");
     load_instructions += other.load_instructions;
     store_instructions += other.store_instructions;
     load_transactions += other.load_transactions;
@@ -95,17 +104,21 @@ struct KernelStats {
     regs_per_thread = other.regs_per_thread > regs_per_thread
                           ? other.regs_per_thread
                           : regs_per_thread;
-    threads_per_block = other.threads_per_block;
+    if (other.threads_per_block != 0)
+      threads_per_block = other.threads_per_block;
     num_blocks += other.num_blocks;
     num_warps += other.num_warps;
     return *this;
   }
 
   /// Per-launch average after accumulating n launches (resource fields are
-  /// already per-launch and pass through unchanged).
+  /// already per-launch and pass through unchanged). n must be positive:
+  /// averaging over zero launches is a caller bookkeeping bug, not a
+  /// quantity with a meaningful value.
   KernelStats averaged_over(std::uint64_t n) const {
+    MOG_CHECK(n > 0, "cannot average KernelStats over zero launches");
     KernelStats s = *this;
-    if (n <= 1) return s;
+    if (n == 1) return s;
     s.load_instructions /= n;
     s.store_instructions /= n;
     s.load_transactions /= n;
@@ -126,6 +139,53 @@ struct KernelStats {
     s.num_warps /= n;
     return s;
   }
+};
+
+/// Enumerate every exported metric of a launch as (name, value, extensive).
+/// Extensive metrics scale with the amount of work (counters); intensive
+/// ones are per-launch properties (resources, efficiencies). This is the
+/// single source of metric names shared by the telemetry rollups and the
+/// bench reports — adding a field here makes it appear in both.
+template <typename Fn>
+void visit_metrics(const KernelStats& s, Fn&& fn) {
+  fn("load_instructions", static_cast<double>(s.load_instructions), true);
+  fn("store_instructions", static_cast<double>(s.store_instructions), true);
+  fn("load_transactions", static_cast<double>(s.load_transactions), true);
+  fn("store_transactions", static_cast<double>(s.store_transactions), true);
+  fn("rmw_transactions", static_cast<double>(s.rmw_transactions), true);
+  fn("bytes_transferred_load", static_cast<double>(s.bytes_transferred_load),
+     true);
+  fn("bytes_transferred_store", static_cast<double>(s.bytes_transferred_store),
+     true);
+  fn("dram_page_switches", static_cast<double>(s.dram_page_switches), true);
+  fn("branches_executed", static_cast<double>(s.branches_executed), true);
+  fn("branches_divergent", static_cast<double>(s.branches_divergent), true);
+  fn("issue_cycles", static_cast<double>(s.issue_cycles), true);
+  fn("warp_instructions", static_cast<double>(s.warp_instructions), true);
+  fn("shared_accesses", static_cast<double>(s.shared_accesses), true);
+  fn("shared_cycles", static_cast<double>(s.shared_cycles), true);
+  fn("shared_replay_cycles",
+     static_cast<double>(s.shared_cycles >= s.shared_accesses
+                             ? s.shared_cycles - s.shared_accesses
+                             : 0),
+     true);
+  fn("num_blocks", static_cast<double>(s.num_blocks), true);
+  fn("num_warps", static_cast<double>(s.num_warps), true);
+  fn("regs_per_thread", static_cast<double>(s.regs_per_thread), false);
+  fn("threads_per_block", static_cast<double>(s.threads_per_block), false);
+  fn("shared_bytes_per_block", static_cast<double>(s.shared_bytes_per_block),
+     false);
+  fn("memory_access_efficiency", s.memory_access_efficiency(), false);
+  fn("branch_efficiency", s.branch_efficiency(), false);
+  fn("divergence_ratio", 1.0 - s.branch_efficiency(), false);
+}
+
+/// Counter export hook: installed on a Device, it observes the finalized
+/// KernelStats of every launch (telemetry::CounterRegistry implements this).
+class StatsSink {
+ public:
+  virtual ~StatsSink() = default;
+  virtual void on_kernel_launch(const KernelStats& stats) = 0;
 };
 
 }  // namespace mog::gpusim

@@ -1,5 +1,9 @@
 #include "mog/pipeline/gpu_pipeline.hpp"
 
+#include <algorithm>
+
+#include "mog/telemetry/telemetry.hpp"
+
 namespace mog {
 
 namespace {
@@ -35,6 +39,10 @@ GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
     frame_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
     fg_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
   }
+  // Counter export: a globally installed registry observes every launch of
+  // this device (survives ResilientPipeline engine rebuilds, which construct
+  // a fresh pipeline and land here again).
+  device_.set_stats_sink(telemetry::counters());
 }
 
 template <typename T>
@@ -47,10 +55,21 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
   const std::size_t n = state_.num_pixels();
 
   if (!config_.tiled) {
-    device_.upload(frame_bufs_[0], frame.data(), n);
-    accumulated_ += kernels::launch_mog_frame<T>(
-        device_, state_, frame_bufs_[0], fg_bufs_[0], tp_, config_.level,
-        config_.threads_per_block);
+    {
+      auto sp = telemetry::maybe_span("upload", "transfer");
+      sp.arg("frame", static_cast<double>(frames_));
+      device_.upload(frame_bufs_[0], frame.data(), n);
+    }
+    gpusim::KernelStats launch_stats;
+    {
+      auto sp = telemetry::maybe_span("mog_kernel", "kernel");
+      sp.arg("frame", static_cast<double>(frames_));
+      launch_stats = kernels::launch_mog_frame<T>(
+          device_, state_, frame_bufs_[0], fg_bufs_[0], tp_, config_.level,
+          config_.threads_per_block);
+    }
+    accumulated_ += launch_stats;
+    emit_modeled_timeline(launch_stats, 1);
     ++launches_;
     ++frames_;
     group_masks_.clear();
@@ -63,8 +82,12 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
   }
 
   // Tiled: buffer until the frame group is full.
-  device_.upload(frame_bufs_[static_cast<std::size_t>(pending_)],
-                 frame.data(), n);
+  {
+    auto sp = telemetry::maybe_span("upload", "transfer");
+    sp.arg("frame", static_cast<double>(frames_));
+    device_.upload(frame_bufs_[static_cast<std::size_t>(pending_)],
+                   frame.data(), n);
+  }
   ++pending_;
   ++frames_;
   if (pending_ < config_.tiled_config.frame_group) return false;
@@ -80,11 +103,19 @@ template <typename T>
 void GpuMogPipeline<T>::finish_group() {
   if (group_launch_pending_) {
     const std::size_t g = static_cast<std::size_t>(pending_);
-    accumulated_ += kernels::launch_tiled_group<T>(
-        device_, state_,
-        std::span<const gpusim::DevSpan<std::uint8_t>>{frame_bufs_.data(), g},
-        std::span<const gpusim::DevSpan<std::uint8_t>>{fg_bufs_.data(), g},
-        tp_, config_.tiled_config);
+    gpusim::KernelStats launch_stats;
+    {
+      auto sp = telemetry::maybe_span("tiled_kernel", "kernel");
+      sp.arg("group_size", static_cast<double>(g));
+      launch_stats = kernels::launch_tiled_group<T>(
+          device_, state_,
+          std::span<const gpusim::DevSpan<std::uint8_t>>{frame_bufs_.data(),
+                                                         g},
+          std::span<const gpusim::DevSpan<std::uint8_t>>{fg_bufs_.data(), g},
+          tp_, config_.tiled_config);
+    }
+    accumulated_ += launch_stats;
+    emit_modeled_timeline(launch_stats, g);
     ++launches_;
     // The update kernel has run: from here on only downloads remain, and a
     // retry must not re-launch.
@@ -100,12 +131,60 @@ void GpuMogPipeline<T>::finish_group() {
 template <typename T>
 void GpuMogPipeline<T>::download_group_masks() {
   const std::size_t n = state_.num_pixels();
+  auto sp = telemetry::maybe_span("download", "transfer");
+  sp.arg("masks", static_cast<double>(downloads_left_));
   while (downloads_left_ > 0) {
     const std::size_t i = group_size_cur_ - downloads_left_;
     FrameU8 mask(config_.width, config_.height);
     device_.download(mask.data(), fg_bufs_[i], n);
     group_masks_.push_back(std::move(mask));
     --downloads_left_;
+  }
+}
+
+template <typename T>
+void GpuMogPipeline<T>::emit_modeled_timeline(
+    const gpusim::KernelStats& launch_stats, std::size_t frames_in_launch) {
+  telemetry::TraceRecorder* tr = telemetry::tracer();
+  if (tr == nullptr) return;
+
+  const std::size_t n = state_.num_pixels();
+  const double g = static_cast<double>(frames_in_launch);
+  const double upload_us =
+      1e6 * gpusim::transfer_seconds(device_.spec(), n) * g;
+  const double download_us = upload_us;
+  const gpusim::Occupancy occ = gpusim::compute_occupancy(
+      device_.spec(), launch_stats.regs_per_thread,
+      launch_stats.threads_per_block, launch_stats.shared_bytes_per_block);
+  const double kernel_us =
+      1e6 * gpusim::kernel_time(launch_stats, occ, device_.spec())
+                .total_seconds;
+
+  const auto us = [](double v) { return static_cast<std::int64_t>(v); };
+  const std::int64_t t0 = us(modeled_ts_us_);
+  const int tid = telemetry::TraceRecorder::kModeledTrack;
+  tr->complete("upload", "modeled", tid, t0, us(upload_us),
+               {{"frames", g}});
+  tr->complete(config_.tiled ? "tiled_kernel" : "mog_kernel", "modeled", tid,
+               t0 + us(upload_us), us(kernel_us),
+               {{"frames", g}, {"occupancy", occ.achieved}});
+  tr->complete("download", "modeled", tid,
+               t0 + us(upload_us + kernel_us), us(download_us),
+               {{"frames", g}});
+
+  // Advance the cursor the way the variant's transfer schedule would: with
+  // overlap (level C+ and the tiled grouping) the next window starts after
+  // max(kernel, transfers) — the hidden portion is the Fig. 5b gain.
+  const bool overlapped = config_.tiled || kernels::uses_overlap(config_.level);
+  const double serial_us = upload_us + kernel_us + download_us;
+  if (overlapped) {
+    const double window_us = std::max(kernel_us, upload_us + download_us);
+    tr->complete("overlap_window", "modeled",
+                 telemetry::TraceRecorder::kModeledOverlapTrack, t0,
+                 us(window_us), {{"hidden_us", serial_us - window_us}});
+    modeled_ts_us_ += window_us;
+  } else {
+    modeled_ts_us_ += serial_us;
   }
 }
 

@@ -125,6 +125,11 @@ class GpuMogPipeline {
   void finish_group();
   void download_group_masks();
 
+  /// Telemetry: append this launch's upload/kernel/download windows to the
+  /// modeled-GPU-timeline trace track (no-op without an installed tracer).
+  void emit_modeled_timeline(const gpusim::KernelStats& launch_stats,
+                             std::size_t frames_in_launch);
+
   Config config_;
   TypedMogParams<T> tp_;
   gpusim::Device device_;
@@ -143,6 +148,7 @@ class GpuMogPipeline {
   gpusim::KernelStats accumulated_;
   std::uint64_t frames_ = 0;
   std::uint64_t launches_ = 0;
+  double modeled_ts_us_ = 0;  ///< cursor of the modeled trace track
 };
 
 extern template class GpuMogPipeline<float>;

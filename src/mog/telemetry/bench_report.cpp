@@ -1,0 +1,105 @@
+#include "mog/telemetry/bench_report.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <filesystem>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::telemetry {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return strprintf("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return strprintf("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+std::string utc_timestamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  return strprintf("%04d-%02d-%02dT%02d:%02d:%02dZ", tm.tm_year + 1900,
+                   tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                   tm.tm_sec);
+}
+
+}  // namespace
+
+BenchReporter::Case& BenchReporter::Case::counters(
+    const gpusim::KernelStats& per_frame) {
+  gpusim::visit_metrics(per_frame,
+                        [this](const char* name, double value, bool) {
+                          metrics_.emplace_back(std::string("ctr_") + name,
+                                                value);
+                        });
+  return *this;
+}
+
+BenchReporter::Case& BenchReporter::add_case(const std::string& name) {
+  for (Case& c : cases_)
+    if (c.name() == name) return c;
+  cases_.emplace_back(name);
+  return cases_.back();
+}
+
+Json BenchReporter::to_json() const {
+  Json root = Json::object();
+  root.set("schema_version", kSchemaVersion);
+  root.set("bench", name_);
+
+  Json host = Json::object();
+  host.set("compiler", compiler_id());
+  host.set("build_type", build_type());
+  host.set("timestamp_utc", utc_timestamp());
+  root.set("host", std::move(host));
+
+  Json workload = Json::object();
+  workload.set("width", width_);
+  workload.set("height", height_);
+  workload.set("frames", frames_);
+  root.set("workload", std::move(workload));
+
+  if (!tolerances_.empty()) {
+    Json tol = Json::object();
+    for (const auto& [k, v] : tolerances_) tol.set(k, v);
+    root.set("tolerances", std::move(tol));
+  }
+
+  Json cases = Json::array();
+  for (const Case& c : cases_) {
+    Json jc = Json::object();
+    jc.set("name", c.name());
+    Json metrics = Json::object();
+    for (const auto& [k, v] : c.metrics()) metrics.set(k, v);
+    jc.set("metrics", std::move(metrics));
+    cases.push_back(std::move(jc));
+  }
+  root.set("cases", std::move(cases));
+  return root;
+}
+
+std::string BenchReporter::write_file(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  write_json_file(path, to_json());
+  return path;
+}
+
+}  // namespace mog::telemetry

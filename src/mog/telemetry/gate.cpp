@@ -1,0 +1,153 @@
+#include "mog/telemetry/gate.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "mog/common/strutil.hpp"
+#include "mog/telemetry/bench_report.hpp"
+
+namespace mog::telemetry {
+
+namespace {
+
+bool is_wall_metric(const std::string& name) {
+  return name.rfind(BenchReporter::kWallPrefix, 0) == 0;
+}
+
+const Json* find_case(const Json& report, const std::string& name) {
+  const Json* cases = report.find("cases");
+  if (cases == nullptr || !cases->is_array()) return nullptr;
+  for (const Json& c : cases->as_array()) {
+    const Json* n = c.find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return &c;
+  }
+  return nullptr;
+}
+
+double schema_version(const Json& report) {
+  const Json* v = report.find("schema_version");
+  return v != nullptr && v->is_number() ? v->as_number() : -1.0;
+}
+
+double tolerance_for(const Json& baseline, const std::string& metric,
+                     const GateOptions& options) {
+  const Json* tols = baseline.find("tolerances");
+  if (tols != nullptr) {
+    const Json* t = tols->find(metric);
+    if (t != nullptr && t->is_number()) return t->as_number();
+  }
+  return options.default_rel_tol;
+}
+
+}  // namespace
+
+std::string GateFinding::describe() const {
+  switch (kind) {
+    case Kind::kSchemaMismatch:
+      return strprintf("schema mismatch: baseline v%g vs fresh v%g", baseline,
+                       fresh);
+    case Kind::kMissingCase:
+      return strprintf("case '%s' missing from fresh report",
+                       case_name.c_str());
+    case Kind::kMissingMetric:
+      return strprintf("metric '%s/%s' missing from fresh report",
+                       case_name.c_str(), metric.c_str());
+    case Kind::kRegression:
+      return strprintf(
+          "'%s/%s' moved %.3g -> %.3g (%.2f%% > %.2f%% tolerance)",
+          case_name.c_str(), metric.c_str(), baseline, fresh,
+          100.0 * rel_delta, 100.0 * tolerance);
+  }
+  return "?";
+}
+
+GateResult gate_reports(const Json& baseline, const Json& fresh,
+                        const GateOptions& options) {
+  GateResult result;
+
+  const double bv = schema_version(baseline);
+  const double fv = schema_version(fresh);
+  if (bv != fv || bv < 0) {
+    GateFinding f;
+    f.kind = GateFinding::Kind::kSchemaMismatch;
+    f.baseline = bv;
+    f.fresh = fv;
+    result.failures.push_back(f);
+    return result;
+  }
+
+  const Json* cases = baseline.find("cases");
+  if (cases == nullptr || !cases->is_array()) return result;
+
+  for (const Json& bc : cases->as_array()) {
+    const Json* name = bc.find("name");
+    const std::string case_name =
+        name != nullptr && name->is_string() ? name->as_string() : "?";
+    const Json* fc = find_case(fresh, case_name);
+    if (fc == nullptr) {
+      GateFinding f;
+      f.kind = GateFinding::Kind::kMissingCase;
+      f.case_name = case_name;
+      result.failures.push_back(f);
+      continue;
+    }
+    ++result.cases_compared;
+
+    const Json* bmetrics = bc.find("metrics");
+    const Json* fmetrics = fc->find("metrics");
+    if (bmetrics == nullptr || !bmetrics->is_object()) continue;
+
+    for (const auto& [metric, bval] : bmetrics->as_object()) {
+      if (!bval.is_number()) continue;
+      if (!options.include_wall && is_wall_metric(metric)) {
+        ++result.metrics_skipped;
+        continue;
+      }
+      const Json* fval =
+          fmetrics != nullptr ? fmetrics->find(metric) : nullptr;
+      if (fval == nullptr || !fval->is_number()) {
+        GateFinding f;
+        f.kind = GateFinding::Kind::kMissingMetric;
+        f.case_name = case_name;
+        f.metric = metric;
+        result.failures.push_back(f);
+        continue;
+      }
+      ++result.metrics_compared;
+
+      const double b = bval.as_number();
+      const double v = fval->as_number();
+      const double abs_delta = std::fabs(v - b);
+      if (abs_delta <= options.abs_tol) continue;
+      const double tol = tolerance_for(baseline, metric, options);
+      const double rel =
+          std::fabs(b) > 0 ? abs_delta / std::fabs(b)
+                           : std::numeric_limits<double>::infinity();
+      if (rel > tol) {
+        GateFinding f;
+        f.kind = GateFinding::Kind::kRegression;
+        f.case_name = case_name;
+        f.metric = metric;
+        f.baseline = b;
+        f.fresh = v;
+        f.rel_delta = rel;
+        f.tolerance = tol;
+        result.failures.push_back(f);
+      }
+    }
+  }
+  return result;
+}
+
+std::string format_gate_result(const std::string& label,
+                               const GateResult& result) {
+  std::string out = strprintf(
+      "%s: %s — %d cases, %d metrics compared, %d wall metrics skipped",
+      label.c_str(), result.ok() ? "PASS" : "FAIL", result.cases_compared,
+      result.metrics_compared, result.metrics_skipped);
+  for (const GateFinding& f : result.failures)
+    out += "\n  ✗ " + f.describe();
+  return out;
+}
+
+}  // namespace mog::telemetry

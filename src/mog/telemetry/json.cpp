@@ -1,0 +1,346 @@
+#include "mog/telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::telemetry {
+
+const Json* Json::find(std::string_view key) const {
+  const Object* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  Object& obj = mut<Object>("object");
+  for (auto& [k, v] : obj)
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  obj.emplace_back(std::move(key), std::move(value));
+  return obj.back().second;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strprintf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  MOG_CHECK(std::isfinite(d), "JSON cannot represent NaN or infinity");
+  // Counters are integers; print them as such (within the exact range).
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    out += strprintf("%lld", static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += std::get<bool>(value_) ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, std::get<double>(value_)); break;
+    case Type::kString: append_escaped(out, std::get<std::string>(value_)); break;
+    case Type::kArray: {
+      const Array& arr = std::get<Array>(value_);
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        arr[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = std::get<Object>(value_);
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, obj[i].first);
+        out += indent < 0 ? ":" : ": ";
+        obj[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --- parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    MOG_CHECK(pos_ == text_.size(),
+              strprintf("trailing characters after JSON value at offset %zu",
+                        pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error{strprintf("JSON parse error at offset %zu: %s", pos_,
+                          what.c_str())};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(strprintf("expected '%c'", c));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't':
+        if (consume_literal("true")) return Json{true};
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json{false};
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json{};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.as_object().emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // surrogate pair
+            expect('\\');
+            expect('u');
+            const unsigned lo = parse_hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    const std::string tok{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') fail("malformed number");
+    return Json{d};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  MOG_CHECK(in.good(), "cannot open JSON file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Json::parse(ss.str());
+}
+
+void write_json_file(const std::string& path, const Json& value) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  MOG_CHECK(out.good(), "cannot open JSON file for writing: " + path);
+  out << value.dump(2) << '\n';
+  MOG_CHECK(out.good(), "failed writing JSON file: " + path);
+}
+
+}  // namespace mog::telemetry

@@ -1,0 +1,16 @@
+#include "mog/telemetry/telemetry.hpp"
+
+namespace mog::telemetry {
+
+namespace {
+TraceRecorder* g_tracer = nullptr;
+CounterRegistry* g_counters = nullptr;
+}  // namespace
+
+TraceRecorder* tracer() { return g_tracer; }
+void set_tracer(TraceRecorder* recorder) { g_tracer = recorder; }
+
+CounterRegistry* counters() { return g_counters; }
+void set_counters(CounterRegistry* registry) { g_counters = registry; }
+
+}  // namespace mog::telemetry

@@ -1,0 +1,46 @@
+// Process-wide telemetry sinks.
+//
+// The pipeline layers are instrumented unconditionally but emit nothing
+// until a recorder/registry is installed here — a null sink costs one
+// pointer load per site, which keeps the tracing layer out of the hot path
+// for ordinary runs. Ownership stays with the installer (typically an
+// example binary or a test); install nullptr before the sink dies.
+//
+//   mog::telemetry::TraceRecorder rec;
+//   mog::telemetry::CounterRegistry reg;
+//   mog::telemetry::set_tracer(&rec);
+//   mog::telemetry::set_counters(&reg);
+//   ... run pipelines ...
+//   rec.write("trace.json");            // load in chrome://tracing
+//   std::puts(reg.summary().c_str());
+//   mog::telemetry::set_tracer(nullptr);
+//   mog::telemetry::set_counters(nullptr);
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mog/telemetry/counters.hpp"
+#include "mog/telemetry/trace.hpp"
+
+namespace mog::telemetry {
+
+TraceRecorder* tracer();
+void set_tracer(TraceRecorder* recorder);
+
+CounterRegistry* counters();
+void set_counters(CounterRegistry* registry);
+
+/// Emit an instant event on the installed tracer; no-op when none is set.
+inline void emit_instant(const char* name, const char* cat,
+                         std::vector<std::pair<std::string, double>> args = {}) {
+  if (TraceRecorder* tr = tracer()) tr->instant(name, cat, std::move(args));
+}
+
+/// Wall-clock span on the installed tracer; inert when none is set.
+inline TraceRecorder::Span maybe_span(std::string name,
+                                      std::string cat = "sim") {
+  return TraceRecorder::Span{tracer(), std::move(name), std::move(cat)};
+}
+
+}  // namespace mog::telemetry

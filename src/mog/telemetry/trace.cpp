@@ -1,0 +1,63 @@
+#include "mog/telemetry/trace.hpp"
+
+namespace mog::telemetry {
+
+namespace {
+
+const char* track_name(int tid) {
+  switch (tid) {
+    case TraceRecorder::kWallTrack: return "wall clock";
+    case TraceRecorder::kModeledTrack: return "modeled GPU timeline";
+    case TraceRecorder::kModeledOverlapTrack: return "modeled overlap windows";
+    default: return "track";
+  }
+}
+
+}  // namespace
+
+Json TraceRecorder::to_json() const {
+  Json trace = Json::object();
+  Json arr = Json::array();
+
+  // Thread-name metadata events so the tracks are labeled in the viewer.
+  for (const int tid :
+       {kWallTrack, kModeledTrack, kModeledOverlapTrack}) {
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", 1);
+    meta.set("tid", tid);
+    Json args = Json::object();
+    args.set("name", track_name(tid));
+    meta.set("args", std::move(args));
+    arr.push_back(std::move(meta));
+  }
+
+  for (const TraceEvent& ev : events_) {
+    Json e = Json::object();
+    e.set("name", ev.name);
+    e.set("cat", ev.cat);
+    e.set("ph", std::string(1, ev.phase));
+    e.set("ts", static_cast<double>(ev.ts_us));
+    if (ev.phase == 'X') e.set("dur", static_cast<double>(ev.dur_us));
+    if (ev.phase == 'i') e.set("s", "t");  // instant scope: thread
+    e.set("pid", 1);
+    e.set("tid", ev.tid);
+    if (!ev.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [k, v] : ev.args) args.set(k, v);
+      e.set("args", std::move(args));
+    }
+    arr.push_back(std::move(e));
+  }
+
+  trace.set("traceEvents", std::move(arr));
+  trace.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("recorded_events", static_cast<double>(events_.size()));
+  other.set("dropped_events", static_cast<double>(dropped_));
+  trace.set("otherData", std::move(other));
+  return trace;
+}
+
+}  // namespace mog::telemetry

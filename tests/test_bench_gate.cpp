@@ -1,0 +1,144 @@
+// Perf-regression gate: pass/fail verdicts, tolerance bands (default,
+// per-metric override, absolute slack), wall-clock skipping, and schema
+// guarding.
+#include <gtest/gtest.h>
+
+#include "mog/telemetry/bench_report.hpp"
+#include "mog/telemetry/gate.hpp"
+
+namespace mog::telemetry {
+namespace {
+
+/// One-case report with a single "speedup" metric.
+Json report(double speedup) {
+  BenchReporter rep{"unit"};
+  rep.add_case("A").metric("speedup", speedup);
+  return rep.to_json();
+}
+
+TEST(BenchGate, IdenticalReportsPass) {
+  const GateResult r = gate_reports(report(96.0), report(96.0));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.cases_compared, 1);
+  EXPECT_EQ(r.metrics_compared, 1);
+}
+
+TEST(BenchGate, MovementWithinDefaultBandPasses) {
+  // Default band is 2%; 1% moves pass in both directions.
+  EXPECT_TRUE(gate_reports(report(100.0), report(101.0)).ok());
+  EXPECT_TRUE(gate_reports(report(100.0), report(99.0)).ok());
+}
+
+TEST(BenchGate, MovementOutsideBandFailsSymmetrically) {
+  // The simulator is deterministic: an *improvement* outside the band is
+  // also a model change and must fail until the baseline is regenerated.
+  for (const double fresh : {103.0, 97.0}) {
+    const GateResult r = gate_reports(report(100.0), report(fresh));
+    ASSERT_FALSE(r.ok()) << "fresh=" << fresh;
+    ASSERT_EQ(r.failures.size(), 1u);
+    const GateFinding& f = r.failures[0];
+    EXPECT_EQ(f.kind, GateFinding::Kind::kRegression);
+    EXPECT_EQ(f.case_name, "A");
+    EXPECT_EQ(f.metric, "speedup");
+    EXPECT_DOUBLE_EQ(f.baseline, 100.0);
+    EXPECT_DOUBLE_EQ(f.fresh, fresh);
+    EXPECT_NEAR(f.rel_delta, 0.03, 1e-12);
+    EXPECT_FALSE(f.describe().empty());
+  }
+}
+
+TEST(BenchGate, ExactBoundaryPasses) {
+  EXPECT_TRUE(gate_reports(report(100.0), report(102.0)).ok());
+  EXPECT_FALSE(gate_reports(report(100.0), report(102.1)).ok());
+}
+
+TEST(BenchGate, OptionsWidenTheDefaultBand) {
+  GateOptions opt;
+  opt.default_rel_tol = 0.10;
+  EXPECT_TRUE(gate_reports(report(100.0), report(108.0), opt).ok());
+}
+
+TEST(BenchGate, BaselineTolerancesOverrideTheDefault) {
+  BenchReporter base{"unit"};
+  base.set_tolerance("fg_disagreement", 0.25);
+  base.add_case("A").metric("fg_disagreement", 100.0).metric("speedup", 50.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("fg_disagreement", 120.0).metric("speedup", 50.0);
+  // 20% movement: outside the 2% default but inside the embedded 25% band.
+  EXPECT_TRUE(gate_reports(base.to_json(), fresh.to_json()).ok());
+
+  BenchReporter worse{"unit"};
+  worse.add_case("A").metric("fg_disagreement", 130.0).metric("speedup", 50.0);
+  EXPECT_FALSE(gate_reports(base.to_json(), worse.to_json()).ok());
+}
+
+TEST(BenchGate, ZeroBaselinePassesWithinAbsoluteSlack) {
+  // Relative bands are undefined at 0; abs_tol carries exact zeros.
+  EXPECT_TRUE(gate_reports(report(0.0), report(0.0)).ok());
+  EXPECT_FALSE(gate_reports(report(0.0), report(0.001)).ok());
+}
+
+TEST(BenchGate, MissingCaseFails) {
+  BenchReporter fresh{"unit"};
+  fresh.add_case("B").metric("speedup", 96.0);
+  const GateResult r = gate_reports(report(96.0), fresh.to_json());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].kind, GateFinding::Kind::kMissingCase);
+  EXPECT_EQ(r.failures[0].case_name, "A");
+}
+
+TEST(BenchGate, MissingMetricFails) {
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("occupancy", 0.45);
+  const GateResult r = gate_reports(report(96.0), fresh.to_json());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].kind, GateFinding::Kind::kMissingMetric);
+  EXPECT_EQ(r.failures[0].metric, "speedup");
+}
+
+TEST(BenchGate, ExtraFreshMetricsAndCasesAreIgnored) {
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("speedup", 96.0).metric("new_metric", 1.0);
+  fresh.add_case("Z").metric("anything", 7.0);
+  EXPECT_TRUE(gate_reports(report(96.0), fresh.to_json()).ok());
+}
+
+TEST(BenchGate, WallClockMetricsAreSkippedUnlessRequested) {
+  BenchReporter base{"unit"};
+  base.add_case("A").metric("wall_ms", 100.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("wall_ms", 500.0);
+
+  const GateResult skipped = gate_reports(base.to_json(), fresh.to_json());
+  EXPECT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped.metrics_compared, 0);
+  EXPECT_EQ(skipped.metrics_skipped, 1);
+
+  GateOptions opt;
+  opt.include_wall = true;
+  EXPECT_FALSE(gate_reports(base.to_json(), fresh.to_json(), opt).ok());
+}
+
+TEST(BenchGate, SchemaVersionMismatchFails) {
+  Json fresh = report(96.0);
+  fresh.set("schema_version", Json{BenchReporter::kSchemaVersion + 1});
+  const GateResult r = gate_reports(report(96.0), fresh);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failures[0].kind, GateFinding::Kind::kSchemaMismatch);
+}
+
+TEST(BenchGate, RoundTripThroughTextStaysEqual) {
+  // The gate sees files, not in-memory objects: dump -> parse must not
+  // perturb any metric (round-trip precision of the number formatter).
+  BenchReporter rep{"unit"};
+  rep.add_case("A")
+      .metric("speedup", 96.123456789012345)
+      .metric("tiny", 1.0000000000000002)
+      .metric("big_count", 9007199254740992.0);
+  const Json original = rep.to_json();
+  const Json reparsed = Json::parse(original.dump(2));
+  EXPECT_TRUE(gate_reports(original, reparsed).ok());
+}
+
+}  // namespace
+}  // namespace mog::telemetry
