@@ -1,0 +1,76 @@
+// Persistent host worker pool that executes a launch's blocks in parallel.
+//
+// CUDA blocks are independent by construction — no shared memory spans
+// blocks and __syncthreads() never crosses a block boundary — so the
+// simulator's per-block work is embarrassingly parallel on the host. The
+// pool follows the generation-counted barrier design proven in
+// mog/cpu/parallel_mog.cpp: workers persist across launches (no per-launch
+// thread creation), the launching thread participates as worker 0, and a
+// condition-variable generation bump dispatches each run.
+//
+// Blocks are claimed dynamically off a shared atomic cursor. That keeps the
+// slowest-block tail short and is safe for determinism because the launcher
+// gives every worker private accumulation state and folds it with
+// commutative, order-independent reductions (integer sums / maxes plus a
+// block-ordered DRAM-row replay — see Device::launch); which worker ran
+// which block can never show up in the results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mog::gpusim {
+
+class BlockExecutor {
+ public:
+  /// `fn(block_id, worker)` with worker in [0, num_threads).
+  using BlockFn = std::function<void(std::int64_t, int)>;
+
+  /// `num_threads` must already be resolved (see resolved_executor_threads);
+  /// num_threads - 1 persistent workers are spawned.
+  explicit BlockExecutor(int num_threads);
+  ~BlockExecutor();
+
+  BlockExecutor(const BlockExecutor&) = delete;
+  BlockExecutor& operator=(const BlockExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run `fn` once for every block in [0, num_blocks), spread across the
+  /// pool; returns when all claimed blocks have finished. If any invocation
+  /// threw, the remaining unclaimed blocks are skipped and, after every
+  /// worker quiesces, the exception of the lowest-numbered failing block is
+  /// rethrown on the calling thread. The pool stays usable afterwards.
+  void run(std::int64_t num_blocks, const BlockFn& fn);
+
+ private:
+  void worker_loop(int worker);
+  void drain(int worker);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutting_down_ = false;
+
+  // Per-run dispatch state; written by run() before the generation bump and
+  // read by workers only after observing the new generation under mu_.
+  const BlockFn* fn_ = nullptr;
+  std::int64_t num_blocks_ = 0;
+  std::atomic<std::int64_t> next_block_{0};
+
+  // First failure (by block id) wins; failed_ short-circuits further claims.
+  std::atomic<bool> failed_{false};
+  std::mutex err_mu_;
+  std::int64_t first_error_block_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mog::gpusim

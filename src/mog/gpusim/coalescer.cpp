@@ -45,7 +45,7 @@ void Coalescer::begin_warp() {
   // Open DRAM rows deliberately persist: row locality spans warps.
 }
 
-bool Coalescer::page_open(std::uint64_t page) {
+bool DramRowLru::access(std::uint64_t page) {
   for (int i = 0; i < open_count_; ++i) {
     if (open_rows_[i] == page) {
       for (int j = i; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
@@ -105,7 +105,10 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
     // scattered stores that the predicated variants avoid.
     if (!is_load && covered[i] < seg_bytes) ++rmw_reads;
     const std::uint64_t page = segs[i] * seg_bytes / page_bytes_;
-    if (!page_open(page)) ++stats.dram_page_switches;
+    if (page_trace_ != nullptr)
+      page_trace_->push_back(page);
+    else if (!rows_.access(page))
+      ++stats.dram_page_switches;
   }
 
   // Instruction replay: the LSU re-issues the instruction once per 128-byte

@@ -19,11 +19,31 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "mog/gpusim/device_spec.hpp"
 #include "mog/gpusim/stats.hpp"
 
 namespace mog::gpusim {
+
+/// Open-row LRU of the DRAM model: GDDR5 keeps one row open per bank across
+/// many banks and channels; 32 concurrently-open rows means streaming
+/// patterns (a handful of array streams) pay almost nothing while wide
+/// gathers across many regions (e.g. large tiled frame groups) pay
+/// activations. Row state deliberately persists across warps *and* blocks —
+/// the parallel block executor preserves those serial-order semantics by
+/// replaying each block's recorded page sequence in block order (see
+/// Device::launch).
+class DramRowLru {
+ public:
+  /// Returns true when `page` is already open; opens it (LRU) otherwise.
+  bool access(std::uint64_t page);
+
+ private:
+  static constexpr int kOpenRows = 32;
+  std::uint64_t open_rows_[kOpenRows];
+  int open_count_ = 0;
+};
 
 class SegmentCache {
  public:
@@ -55,20 +75,25 @@ class Coalescer {
   /// Reset per-warp state (segment cache) at warp start.
   void begin_warp();
 
- private:
-  bool page_open(std::uint64_t page);
+  /// Deferred row accounting for the parallel block executor: while a trace
+  /// is installed, DRAM-bound transactions append their page id to it
+  /// instead of consulting the local open-row LRU, and dram_page_switches is
+  /// *not* incremented inline. The launcher replays the per-block traces in
+  /// block order through one DramRowLru afterwards, reproducing the serial
+  /// execution's counts exactly regardless of which host worker ran which
+  /// block. Pass nullptr to restore inline accounting (the standalone-use
+  /// default, e.g. unit tests and the coalescing ablation bench).
+  void set_page_trace(std::vector<std::uint64_t>* trace) {
+    page_trace_ = trace;
+  }
 
+ private:
   int load_segment_bytes_;
   int store_segment_bytes_;
   int page_bytes_;
   SegmentCache l1_;
-  // Open-row model: GDDR5 keeps one row open per bank across many banks and
-  // channels; 32 concurrently-open rows means streaming patterns (a handful
-  // of array streams) pay almost nothing while wide gathers across many
-  // regions (e.g. large tiled frame groups) pay activations.
-  static constexpr int kOpenRows = 32;
-  std::uint64_t open_rows_[kOpenRows];
-  int open_count_ = 0;
+  DramRowLru rows_;
+  std::vector<std::uint64_t>* page_trace_ = nullptr;
 };
 
 }  // namespace mog::gpusim

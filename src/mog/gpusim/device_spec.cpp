@@ -1,8 +1,24 @@
 #include "mog/gpusim/device_spec.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "mog/common/strutil.hpp"
 
 namespace mog::gpusim {
+
+int resolved_executor_threads(int requested) {
+  int n = requested;
+  if (n <= 0) {
+    if (const char* env = std::getenv("MOG_EXECUTOR_THREADS");
+        env != nullptr && std::atoi(env) > 0)
+      n = std::atoi(env);
+    else
+      n = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::clamp(n, 1, 64);
+}
 
 std::string describe_device(const DeviceSpec& spec) {
   std::string s;

@@ -47,11 +47,25 @@ struct DeviceSpec {
   double pcie_effective_gbps = 1.1;
   double dma_setup_seconds = 15e-6;
 
+  // Host-side simulation knob (not a property of the modeled GPU): number of
+  // host worker threads the block executor spreads a launch's blocks across.
+  // CUDA blocks are independent by construction, so this changes wall-clock
+  // only — masks, device state, and every KernelStats counter are
+  // bit-identical at any thread count. 0 = one worker per hardware thread
+  // (overridable via the MOG_EXECUTOR_THREADS environment variable);
+  // 1 = serial execution on the launching thread.
+  int executor_threads = 0;
+
   double clock_hz() const { return core_clock_ghz * 1e9; }
   double dram_bytes_per_cycle() const {
     return dram_bandwidth_gbps * 1e9 / clock_hz();
   }
 };
+
+/// Resolve an executor_threads knob to a concrete worker count in [1, 64].
+/// `requested` <= 0 means auto: the MOG_EXECUTOR_THREADS environment
+/// variable if set and positive, else std::thread::hardware_concurrency().
+int resolved_executor_threads(int requested);
 
 /// The paper's Table I CPU column lives in mog/cpu/cost_model.hpp; this
 /// helper renders the GPU column for the Table I bench.

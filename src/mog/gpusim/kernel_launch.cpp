@@ -1,5 +1,7 @@
 #include "mog/gpusim/kernel_launch.hpp"
 
+#include "mog/gpusim/timing_constants.hpp"
+
 namespace mog::gpusim {
 
 BlockCtx::BlockCtx(std::int64_t block_id, int threads_in_block,
@@ -13,10 +15,9 @@ BlockCtx::BlockCtx(std::int64_t block_id, int threads_in_block,
       coalescer_(coalescer),
       shared_arena_(shared_arena) {}
 
-Device::Device(DeviceSpec spec)
-    : spec_(std::move(spec)),
-      memory_(),
-      shared_arena_(static_cast<std::size_t>(spec_.shared_mem_per_sm)) {}
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)), memory_() {
+  worker_arena(0);  // the launching thread's arena always exists
+}
 
 void Device::validate(const LaunchConfig& config) const {
   MOG_CHECK(config.num_threads >= 1, "launch needs at least one thread");
@@ -25,6 +26,95 @@ void Device::validate(const LaunchConfig& config) const {
             "threads_per_block out of device range");
   MOG_CHECK(config.threads_per_block % kWarpSize == 0,
             "threads_per_block must be a multiple of the warp size");
+}
+
+std::vector<std::byte>& Device::worker_arena(int worker) {
+  while (worker_arenas_.size() <= static_cast<std::size_t>(worker))
+    worker_arenas_.emplace_back(
+        static_cast<std::size_t>(spec_.shared_mem_per_sm));
+  return worker_arenas_[static_cast<std::size_t>(worker)];
+}
+
+KernelStats Device::run_blocks(
+    const LaunchConfig& config,
+    const std::function<void(BlockCtx&)>& block_fn) {
+  KernelStats stats;
+  stats.threads_per_block = config.threads_per_block;
+  const std::int64_t blocks =
+      (config.num_threads + config.threads_per_block - 1) /
+      config.threads_per_block;
+  stats.num_blocks = static_cast<std::uint64_t>(blocks);
+
+  // Per-worker private accumulation state. Everything a kernel touches
+  // outside device memory is either per-worker (stats, coalescer, arena) or
+  // per-block (BlockCtx), so kernel callables never contend; device memory
+  // itself is safe because blocks only write locations owned by their own
+  // threads.
+  const int pool =
+      blocks > 1 ? resolved_executor_threads(spec_.executor_threads) : 1;
+  struct WorkerState {
+    explicit WorkerState(const DeviceSpec& spec)
+        : coalescer{spec, kEffectiveL1SegmentsPerWarp} {}
+    KernelStats stats;
+    Coalescer coalescer;
+    int peak_reg_words = 0;
+  };
+  std::vector<WorkerState> workers;
+  workers.reserve(static_cast<std::size_t>(pool));
+  for (int w = 0; w < pool; ++w) {
+    workers.emplace_back(spec_);
+    worker_arena(w);
+  }
+
+  // DRAM open-row state spans blocks in the serial model, so workers record
+  // the page id of every DRAM-bound transaction instead of counting
+  // switches inline; the traces replay below in block order through one
+  // DramRowLru, reproducing the serial counts exactly regardless of thread
+  // count or block-to-worker assignment.
+  std::vector<std::vector<std::uint64_t>> page_traces(
+      static_cast<std::size_t>(blocks));
+
+  const auto run_one = [&](std::int64_t b, int w) {
+    WorkerState& ws = workers[static_cast<std::size_t>(w)];
+    const int threads_in_block = static_cast<int>(std::min<std::int64_t>(
+        config.threads_per_block,
+        config.num_threads - b * config.threads_per_block));
+    ws.coalescer.set_page_trace(&page_traces[static_cast<std::size_t>(b)]);
+    BlockCtx blk{b, threads_in_block, config.threads_per_block, ws.stats,
+                 ws.coalescer, worker_arenas_[static_cast<std::size_t>(w)]};
+    block_fn(blk);
+    if (blk.peak_reg_words() > ws.peak_reg_words)
+      ws.peak_reg_words = blk.peak_reg_words();
+  };
+
+  if (pool == 1) {
+    for (std::int64_t b = 0; b < blocks; ++b) run_one(b, 0);
+  } else {
+    if (executor_ == nullptr || executor_->num_threads() != pool)
+      executor_ = std::make_unique<BlockExecutor>(pool);
+    executor_->run(blocks, run_one);
+  }
+
+  // Deterministic reduction: fold per-worker stats in worker order. Every
+  // merged field is an integer sum or max, so the totals are independent of
+  // which worker executed which block.
+  int peak_reg_words = 0;
+  for (WorkerState& ws : workers) {
+    stats += ws.stats;
+    if (ws.peak_reg_words > peak_reg_words) peak_reg_words = ws.peak_reg_words;
+  }
+
+  DramRowLru rows;
+  for (const auto& trace : page_traces)
+    for (const std::uint64_t page : trace)
+      if (!rows.access(page)) ++stats.dram_page_switches;
+
+  stats.regs_per_thread = std::min(
+      static_cast<int>(peak_reg_words * kRegisterPressureScale + 0.5) +
+          kAbiRegisterWords,
+      spec_.max_registers_per_thread);
+  if (stats_sink_ != nullptr) stats_sink_->on_kernel_launch(stats);
+  return stats;
 }
 
 }  // namespace mog::gpusim

@@ -7,13 +7,23 @@
 // of a section sequentially, so any cross-warp shared-memory communication
 // must straddle a section boundary — the same discipline real CUDA code
 // needs around barriers).
+//
+// Blocks of one launch run concurrently across host worker threads
+// (DeviceSpec::executor_threads), mirroring the independence real CUDA
+// blocks have across SMs: a kernel may not communicate between blocks
+// within a launch. Kernel callables are invoked concurrently from multiple
+// threads and must only write device memory owned by their own block's
+// threads — exactly the discipline the modeled hardware enforces.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "mog/gpusim/block_executor.hpp"
 #include "mog/gpusim/coalescer.hpp"
 #include "mog/gpusim/device_memory.hpp"
 #include "mog/gpusim/device_spec.hpp"
@@ -69,14 +79,16 @@ class BlockCtx {
       RegTracker regs;
       ExecEnv env{&stats_, &regs, &coalescer_, 0xffffffffu};
       coalescer_.begin_warp();
-      exec_env() = &env;
+      // RAII: a kernel that throws mid-warp (MOG_CHECK, fault injection)
+      // must not leave this thread's exec_env() dangling for the next
+      // launch's bookkeeping to scribble through.
+      ExecEnvScope env_scope{env};
       {
         WarpCtx warp{env, block_id_ * threads_per_block_ +
                               static_cast<std::int64_t>(w) * kWarpSize,
                      lanes};
         fn(warp);
       }
-      exec_env() = nullptr;
       ++stats_.num_warps;
       if (regs.peak_words > peak_reg_words_) peak_reg_words_ = regs.peak_words;
     }
@@ -147,47 +159,46 @@ class Device {
   /// Functional side effects land in device memory synchronously. With a
   /// fault hook installed the launch may throw LaunchError *before* any
   /// block runs (device state is untouched, mirroring a CUDA launch
-  /// failure).
+  /// failure); a MOG_CHECK failure inside the kernel propagates from
+  /// whichever host worker hit it.
+  ///
+  /// Blocks execute across spec().executor_threads host workers (resolved by
+  /// resolved_executor_threads; 1 = serial). Results are bit-identical at
+  /// any thread count: blocks are independent, each worker accumulates into
+  /// private state (KernelStats, Coalescer, shared-memory arena), the
+  /// per-worker stats merge in fixed worker order with commutative integer
+  /// reductions, and DRAM open-row accounting is replayed in block order
+  /// (see run_blocks). Telemetry delivery (the StatsSink) stays on the
+  /// launching thread.
   template <typename KernelFn>
   KernelStats launch(const LaunchConfig& config, KernelFn&& kernel) {
     validate(config);
     if (fault_hook_) fault_hook_->before_launch();
-    KernelStats stats;
-    stats.threads_per_block = config.threads_per_block;
+    return run_blocks(config, [&kernel](BlockCtx& blk) { kernel(blk); });
+  }
 
-    Coalescer coalescer{spec_, kEffectiveL1SegmentsPerWarp};
-    const std::int64_t blocks =
-        (config.num_threads + config.threads_per_block - 1) /
-        config.threads_per_block;
-    stats.num_blocks = static_cast<std::uint64_t>(blocks);
-
-    int peak_reg_words = 0;
-    for (std::int64_t b = 0; b < blocks; ++b) {
-      const int threads_in_block = static_cast<int>(
-          std::min<std::int64_t>(config.threads_per_block,
-                                 config.num_threads -
-                                     b * config.threads_per_block));
-      BlockCtx blk{b, threads_in_block, config.threads_per_block, stats,
-                   coalescer, shared_arena_};
-      kernel(blk);
-      if (blk.peak_reg_words() > peak_reg_words)
-        peak_reg_words = blk.peak_reg_words();
-    }
-
-    stats.regs_per_thread = std::min(
-        static_cast<int>(peak_reg_words * kRegisterPressureScale + 0.5) +
-            kAbiRegisterWords,
-        spec_.max_registers_per_thread);
-    if (stats_sink_ != nullptr) stats_sink_->on_kernel_launch(stats);
-    return stats;
+  /// Worker count this device's launches resolve to.
+  int executor_threads() const {
+    return resolved_executor_threads(spec_.executor_threads);
   }
 
  private:
   void validate(const LaunchConfig& config) const;
 
+  /// Type-erased launch body: per-worker state setup, block dispatch
+  /// (serial or via the persistent BlockExecutor), deterministic reduction.
+  KernelStats run_blocks(const LaunchConfig& config,
+                         const std::function<void(BlockCtx&)>& block_fn);
+
+  std::vector<std::byte>& worker_arena(int worker);
+
   DeviceSpec spec_;
   DeviceMemory memory_;
-  std::vector<std::byte> shared_arena_;
+  /// One shared-memory arena per host worker (index 0 = launching thread);
+  /// grown lazily so a serial device never pays for a pool's worth.
+  std::vector<std::vector<std::byte>> worker_arenas_;
+  std::unique_ptr<BlockExecutor> executor_;  ///< lazy; created on first
+                                             ///< parallel launch
   FaultHook* fault_hook_ = nullptr;
   StatsSink* stats_sink_ = nullptr;
 };

@@ -56,7 +56,23 @@ struct ExecEnv {
 };
 
 /// Currently-running warp environment (nullptr outside kernel execution).
+/// Thread-local: every host executor worker installs its own environment
+/// while simulating a warp, so warp bookkeeping never needs locking.
 ExecEnv*& exec_env();
+
+/// RAII installation of the thread-local ExecEnv. Kernel callables can throw
+/// (MOG_CHECK, fault injection), and a dangling exec_env() pointer left by a
+/// failed launch would silently poison the next launch's divergence and
+/// register accounting on this thread — the guard makes the reset
+/// exception-safe.
+class ExecEnvScope {
+ public:
+  explicit ExecEnvScope(ExecEnv& env) { exec_env() = &env; }
+  ~ExecEnvScope() { exec_env() = nullptr; }
+
+  ExecEnvScope(const ExecEnvScope&) = delete;
+  ExecEnvScope& operator=(const ExecEnvScope&) = delete;
+};
 
 namespace detail {
 

@@ -52,10 +52,12 @@ void adaptive_warp(WarpCtx& ctx, const AdaptiveArgs<T>& a) {
     for (int i = 0; i < gpusim::kWarpSize; ++i)
       if ((ctx.active_mask() >> i) & 1u)
         lane_iters += static_cast<std::uint64_t>(cnt[i]);
-    a.counters->lane_iterations += lane_iters;
-    a.counters->lockstep_iterations +=
+    a.counters->lane_iterations.fetch_add(lane_iters,
+                                          std::memory_order_relaxed);
+    a.counters->lockstep_iterations.fetch_add(
         static_cast<std::uint64_t>(warp_max) *
-        static_cast<std::uint64_t>(ctx.active_count());
+            static_cast<std::uint64_t>(ctx.active_count()),
+        std::memory_order_relaxed);
   }
 
   // --- match / update over active slots --------------------------------------

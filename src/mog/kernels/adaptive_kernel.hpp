@@ -16,6 +16,7 @@
 // iterations, and the ordinary KernelStats captures the ragged gathers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "mog/cpu/adaptive_mog.hpp"
@@ -24,20 +25,46 @@
 namespace mog::kernels {
 
 /// Lockstep-waste accounting for one or more launches.
+///
+/// The kernel bumps these from every warp; with the multi-threaded block
+/// executor, warps of different blocks run on different host threads, so the
+/// counters are relaxed atomics. The totals stay deterministic at any thread
+/// count — they are plain commutative sums. Copies snapshot the values.
 struct AdaptiveCounters {
-  std::uint64_t lane_iterations = 0;      ///< useful per-lane component steps
-  std::uint64_t lockstep_iterations = 0;  ///< charged: warp_max * active lanes
+  std::atomic<std::uint64_t> lane_iterations{0};   ///< useful per-lane steps
+  std::atomic<std::uint64_t> lockstep_iterations{
+      0};  ///< charged: warp_max * active lanes
+
+  AdaptiveCounters() = default;
+  AdaptiveCounters(const AdaptiveCounters& o)
+      : lane_iterations(o.lane_iterations.load(std::memory_order_relaxed)),
+        lockstep_iterations(
+            o.lockstep_iterations.load(std::memory_order_relaxed)) {}
+  AdaptiveCounters& operator=(const AdaptiveCounters& o) {
+    lane_iterations.store(o.lane_iterations.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    lockstep_iterations.store(
+        o.lockstep_iterations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Fraction of lockstep component work that was useful (<= 1).
   double lane_utilization() const {
-    return lockstep_iterations == 0
-               ? 1.0
-               : static_cast<double>(lane_iterations) /
-                     static_cast<double>(lockstep_iterations);
+    const std::uint64_t lock =
+        lockstep_iterations.load(std::memory_order_relaxed);
+    return lock == 0 ? 1.0
+                     : static_cast<double>(
+                           lane_iterations.load(std::memory_order_relaxed)) /
+                           static_cast<double>(lock);
   }
   AdaptiveCounters& operator+=(const AdaptiveCounters& o) {
-    lane_iterations += o.lane_iterations;
-    lockstep_iterations += o.lockstep_iterations;
+    lane_iterations.fetch_add(
+        o.lane_iterations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    lockstep_iterations.fetch_add(
+        o.lockstep_iterations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 };

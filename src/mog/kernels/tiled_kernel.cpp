@@ -116,6 +116,12 @@ template <typename T>
 void tiled_block(gpusim::BlockCtx& blk, const TiledArgs<T>& a) {
   const int K = a.p.k;
   const Addr tile = a.tile;
+  // Shared memory is strictly block-scoped: every block stages its own tile
+  // from global memory in phase 1 and writes it back in phase 3, never
+  // reading another block's resident data. That is what lets the host block
+  // executor run blocks concurrently, each against its worker's private
+  // arena — the SharedSpans below are only valid within this block. `a` is
+  // shared across concurrently-running blocks and must stay read-only.
   TileShared<T> sh;
   sh.w = blk.shared_alloc<T>(static_cast<std::size_t>(tile) * K);
   sh.m = blk.shared_alloc<T>(static_cast<std::size_t>(tile) * K);

@@ -19,7 +19,12 @@ typename GpuMogPipeline<T>::Config validated(
               "the tiled variant builds on optimization level F");
     config.tiled_config.validate();
   }
-  return config;
+  typename GpuMogPipeline<T>::Config out = config;
+  // The pipeline-level executor knob overrides the spec's so callers can
+  // pin the thread count without composing a DeviceSpec.
+  if (config.executor_threads != 0)
+    out.device.executor_threads = config.executor_threads;
+  return out;
 }
 
 }  // namespace
@@ -28,7 +33,7 @@ template <typename T>
 GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
     : config_(validated<T>(config)),
       tp_(TypedMogParams<T>::from(config.params)),
-      device_(config.device),
+      device_(config_.device),
       state_(device_, config.width, config.height, config.params,
              kernels::uses_aos_layout(config.level)
                  ? kernels::ParamLayout::kAoS

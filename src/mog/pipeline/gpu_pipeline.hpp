@@ -44,6 +44,12 @@ class GpuMogPipeline {
     /// Simulated device (defaults to the paper's Tesla C2075; pass
     /// gpusim::embedded_device_spec() for the §VI future-work studies).
     gpusim::DeviceSpec device;
+
+    /// Host worker threads for the device's block executor. 0 inherits
+    /// device.executor_threads (whose 0 means one worker per hardware
+    /// thread); 1 forces serial execution. Purely a wall-clock knob — masks
+    /// and every simulated counter are bit-identical at any value.
+    int executor_threads = 0;
   };
 
   explicit GpuMogPipeline(const Config& config);

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "mog/common/strutil.hpp"
+#include "mog/gpusim/device_spec.hpp"
 
 namespace mog::telemetry {
 
@@ -68,6 +69,13 @@ Json BenchReporter::to_json() const {
   host.set("compiler", compiler_id());
   host.set("build_type", build_type());
   host.set("timestamp_utc", utc_timestamp());
+  // Wall-clock metrics scale with the block executor's host parallelism;
+  // recording the thread count lets a report reader attribute wall_* drift
+  // to the environment instead of the simulator.
+  host.set("executor_threads",
+           executor_threads_ > 0
+               ? executor_threads_
+               : gpusim::resolved_executor_threads(0));
   root.set("host", std::move(host));
 
   Json workload = Json::object();

@@ -69,6 +69,13 @@ class BenchReporter {
     frames_ = frames;
   }
 
+  /// Record the block-executor thread count the bench ran with (host
+  /// metadata, never gated). Defaults to the resolved device default, so a
+  /// bench only needs to call this when it pins a non-default count. The
+  /// gate skips "host", but a reader diagnosing wall_* drift between two
+  /// reports needs this to tell environment from regression.
+  void set_executor_threads(int threads) { executor_threads_ = threads; }
+
   /// Override the gate's relative tolerance for one metric (embedded in the
   /// report, so a regenerated baseline carries its own bands).
   void set_tolerance(const std::string& metric, double rel_tol) {
@@ -94,6 +101,7 @@ class BenchReporter {
  private:
   std::string name_;
   int width_ = 0, height_ = 0, frames_ = 0;
+  int executor_threads_ = 0;  ///< 0 = resolve the device default at dump time
   std::vector<std::pair<std::string, double>> tolerances_;
   std::vector<Case> cases_;
 };

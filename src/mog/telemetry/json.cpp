@@ -288,12 +288,18 @@ class Parser {
         case 't': out += '\t'; break;
         case 'u': {
           unsigned cp = parse_hex4();
-          if (cp >= 0xd800 && cp <= 0xdbff) {  // surrogate pair
-            expect('\\');
-            expect('u');
+          if (cp >= 0xd800 && cp <= 0xdbff) {  // high surrogate: pair owed
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired surrogate");
+            pos_ += 2;
             const unsigned lo = parse_hex4();
             if (lo < 0xdc00 || lo > 0xdfff) fail("unpaired surrogate");
             cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            // A lone low surrogate is not a code point; encoding it would
+            // emit invalid UTF-8 (CESU-8) that round-trips as garbage.
+            fail("unpaired surrogate");
           }
           append_utf8(out, cp);
           break;
@@ -303,14 +309,34 @@ class Parser {
     }
   }
 
+  bool at_digit() const {
+    return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+  }
+
+  // Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  // A permissive scan-then-strtod here would quietly accept malformed
+  // baselines ("07.", "1.", ".5", "+1") and feed the perf gate a number the
+  // writer never produced; any deviation from the grammar is a parse error.
   Json parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-'))
+    if (!at_digit()) fail("malformed number");
+    if (text_[pos_] == '0')
+      ++pos_;  // leading zero admits no further integer digits
+    else
+      while (at_digit()) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
+      if (!at_digit()) fail("malformed number");
+      while (at_digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!at_digit()) fail("malformed number");
+      while (at_digit()) ++pos_;
+    }
     const std::string tok{text_.substr(start, pos_ - start)};
     char* end = nullptr;
     const double d = std::strtod(tok.c_str(), &end);

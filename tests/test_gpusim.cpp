@@ -290,7 +290,11 @@ TEST(Warp, RaggedLastWarpMasksHighLanes) {
 }
 
 TEST(Warp, GlobalIdsFollowBlockDecomposition) {
-  Device dev;
+  // Serial executor: the test records warp bases into a host vector and
+  // asserts their order, which is only defined for single-threaded launches.
+  DeviceSpec spec;
+  spec.executor_threads = 1;
+  Device dev{spec};
   LaunchConfig cfg;
   cfg.num_threads = 256;
   cfg.threads_per_block = 64;

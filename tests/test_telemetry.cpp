@@ -68,6 +68,49 @@ TEST(Json, ParseErrorsThrow) {
   EXPECT_THROW(Json::parse(R"("\x")"), Error);
 }
 
+// Regression: the scan-then-strtod number parser accepted any strtod-able
+// prefix, so malformed literals ("1.2.3", "07.", "1e") parsed as numbers a
+// writer never produced. The parser now enforces the JSON number grammar.
+TEST(Json, RejectsMalformedNumbers) {
+  for (const char* bad : {"1.2.3", "1e", "1e+", "-", "-.", "07.", "01", "1.",
+                          ".5", "+1", "0x10", "1.e5", "--1", "1e1.5", "Inf",
+                          "NaN", "1_000"})
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+}
+
+TEST(Json, AcceptsGrammaticalNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-12.25e2").as_number(), -1225.0);
+  EXPECT_DOUBLE_EQ(Json::parse("3E-2").as_number(), 0.03);
+  EXPECT_DOUBLE_EQ(Json::parse("1e+3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("[0.0625]").as_array()[0].as_number(), 0.0625);
+}
+
+// Regression: a lone low surrogate was encoded straight to (invalid) UTF-8,
+// and an unpaired high surrogate at end-of-input read past the buffer.
+TEST(Json, RejectsUnpairedSurrogatesAndTruncatedEscapes) {
+  for (const char* bad :
+       {R"("\udc00")",          // lone low surrogate
+        R"("\ud800")",          // lone high surrogate, string then ends
+        R"("\ud800x")",         // high surrogate followed by a plain char
+        R"("\ud800\n")",        // high surrogate followed by a non-\u escape
+        R"("\ud800\ud801")",    // high surrogate followed by another high
+        R"("\ud800A")",    // high surrogate paired with a non-surrogate
+        R"("\u12)",             // truncated hex quad
+        R"("\ud800\u12")",      // truncated low half
+        R"("\)",                // truncated escape at end of input
+        R"("abc)"})             // unterminated string
+    EXPECT_THROW(Json::parse(bad), Error) << bad;
+}
+
+TEST(Json, AcceptsValidSurrogatePairs) {
+  // The escaped pair for U+1F600 must decode to the 4-byte UTF-8 sequence.
+  const Json v = Json::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80");
+}
+
 TEST(Json, RejectsNonFiniteNumbers) {
   EXPECT_THROW(Json{std::numeric_limits<double>::infinity()}.dump(), Error);
 }
