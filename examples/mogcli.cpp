@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "mog/common/strutil.hpp"
 #include "mog/core/background_subtractor.hpp"
 #include "mog/cpu/model_io.hpp"
 #include "mog/cpu/serial_mog.hpp"
@@ -69,17 +70,26 @@ Options parse(int argc, char** argv) {
     if (i + 1 >= argc) usage("missing argument value");
     return argv[++i];
   };
+  // Checked parsing: std::atoi would silently read "banana" or "12x" as a
+  // number; parse_int rejects them with the offending flag named.
+  auto num = [&](int& i, const char* what, int lo, int hi) -> int {
+    try {
+      return mog::parse_int(need(i), lo, hi, what);
+    } catch (const mog::Error& e) {
+      usage(e.what());
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--in") o.in_pattern = need(i);
     else if (a == "--out") o.out_pattern = need(i);
-    else if (a == "--start") o.start = std::atoi(need(i));
-    else if (a == "--count") o.count = std::atoi(need(i));
+    else if (a == "--start") o.start = num(i, "--start", 0, 1 << 30);
+    else if (a == "--count") o.count = num(i, "--count", 0, 1 << 30);
     else if (a == "--backend") o.backend = need(i);
     else if (a == "--level") o.level = need(i)[0];
-    else if (a == "--tiled") o.tiled_group = std::atoi(need(i));
+    else if (a == "--tiled") o.tiled_group = num(i, "--tiled", 1, 64);
     else if (a == "--float") o.use_float = true;
-    else if (a == "--components") o.components = std::atoi(need(i));
+    else if (a == "--components") o.components = num(i, "--components", 1, 8);
     else if (a == "--validate") o.validate = true;
     else if (a == "--save-model") o.save_model_path = need(i);
     else if (a == "--load-model") o.load_model_path = need(i);

@@ -1,8 +1,14 @@
 #include "mog/common/strutil.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
+
+#include "mog/common/error.hpp"
 
 namespace mog {
 
@@ -21,6 +27,49 @@ std::string strprintf(const char* fmt, ...) {
   std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   va_end(args_copy);
   return out;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& what, const std::string& text,
+                             const char* why) {
+  throw Error{strprintf("%s: invalid value \"%s\" (%s)", what.c_str(),
+                        text.c_str(), why)};
+}
+
+}  // namespace
+
+int parse_int(const std::string& text, int min_value, int max_value,
+              const std::string& what) {
+  if (text.empty()) parse_fail(what, text, "empty");
+  // strtoll skips leading whitespace; the whole-input rule forbids it.
+  if (std::isspace(static_cast<unsigned char>(text.front())) != 0)
+    parse_fail(what, text, "not a base-10 integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0')
+    parse_fail(what, text, "not a base-10 integer");
+  if (errno == ERANGE || v < min_value || v > max_value)
+    parse_fail(what, text,
+               strprintf("must be in [%d, %d]", min_value, max_value).c_str());
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& text, double min_value,
+                    double max_value, const std::string& what) {
+  if (text.empty()) parse_fail(what, text, "empty");
+  if (std::isspace(static_cast<unsigned char>(text.front())) != 0)
+    parse_fail(what, text, "not a decimal number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0')
+    parse_fail(what, text, "not a decimal number");
+  if (errno == ERANGE || !std::isfinite(v) || v < min_value || v > max_value)
+    parse_fail(what, text,
+               strprintf("must be in [%g, %g]", min_value, max_value).c_str());
+  return v;
 }
 
 std::string human_bytes(double bytes) {

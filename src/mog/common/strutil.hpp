@@ -1,4 +1,5 @@
-// Small string/format helpers (GCC 12 lacks <format>, so we wrap snprintf).
+// Small string/format helpers (GCC 12 lacks <format>, so we wrap snprintf)
+// and checked numeric parsing for CLI flags.
 #pragma once
 
 #include <string>
@@ -7,6 +8,18 @@ namespace mog {
 
 /// printf-style formatting into std::string.
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a base-10 integer, rejecting what std::atoi silently accepts:
+/// empty input, non-numeric text ("banana" -> 0), trailing junk ("12x"),
+/// and out-of-range values. `what` names the value (e.g. "--count") in the
+/// thrown mog::Error.
+int parse_int(const std::string& text, int min_value, int max_value,
+              const std::string& what);
+
+/// Parse a finite decimal floating-point value with the same strictness
+/// (whole input must be consumed; NaN/inf and range violations rejected).
+double parse_double(const std::string& text, double min_value,
+                    double max_value, const std::string& what);
 
 /// Human-readable byte count, e.g. "46.1 KB", "1.4 GB".
 std::string human_bytes(double bytes);

@@ -1,8 +1,10 @@
 #include "mog/fault/resilient_pipeline.hpp"
 
 #include <cmath>
+#include <type_traits>
 
 #include "mog/common/strutil.hpp"
+#include "mog/cpu/cost_model.hpp"
 #include "mog/cpu/model_io.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
@@ -127,6 +129,18 @@ MogModel<T> ResilientPipeline<T>::model() const {
 template <typename T>
 FrameU8 ResilientPipeline<T>::background() const {
   return to_u8(current_model().background_image());
+}
+
+template <typename T>
+gpusim::FrameSchedule ResilientPipeline<T>::frame_schedule() const {
+  if (gpu_) return gpu_->frame_schedule();
+  gpusim::FrameSchedule sched;  // CPU tier: no host<->device transfers
+  sched.kernel_seconds = CpuCostModel{}.seconds(
+      CpuVariant::kSerial,
+      std::is_same_v<T, float> ? Precision::kFloat : Precision::kDouble,
+      gpu_config_.width, gpu_config_.height, /*frames=*/1,
+      gpu_config_.params.num_components);
+  return sched;
 }
 
 template <typename T>

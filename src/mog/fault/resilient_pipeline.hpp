@@ -116,6 +116,14 @@ class ResilientPipeline {
   ExecutionTier tier() const { return tier_; }
   const RecoveryStats& recovery_stats() const { return stats_; }
 
+  /// Per-frame modeled schedule of the *active* engine. GPU tiers forward
+  /// GpuMogPipeline::frame_schedule(); after degradation to the CPU tier the
+  /// transfers are zero (no PCIe crossing) and the kernel term is the cost
+  /// model's per-frame serial seconds — a CPU-degraded stream stops
+  /// consuming shared device time in the serving layer, which is exactly
+  /// what happens on real hardware.
+  gpusim::FrameSchedule frame_schedule() const;
+
   /// Current model (downloaded from the active engine).
   MogModel<T> model() const;
   FrameU8 background() const;

@@ -114,6 +114,7 @@ class Device {
 
   const DeviceSpec& spec() const { return spec_; }
   DeviceMemory& memory() { return memory_; }
+  const DeviceMemory& memory() const { return memory_; }
 
   /// Install a fault-injection hook (non-owning; nullptr restores fault-free
   /// operation). The hook is consulted by launch() and the hooked transfer

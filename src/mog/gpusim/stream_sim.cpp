@@ -77,6 +77,71 @@ Timeline simulate_overlapped(const FrameSchedule& frame, int frames) {
   return tl;
 }
 
+int SharedTimeline::add_stream(int buffers) {
+  MOG_CHECK(buffers >= 1, "a stream needs at least one device buffer");
+  streams_.push_back(StreamLane{buffers, 0, 0, {}});
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+SharedTimeline::Window SharedTimeline::schedule_upload(int stream,
+                                                       double ready_seconds,
+                                                       double seconds) {
+  MOG_CHECK(stream >= 0 && stream < num_streams(), "unknown timeline stream");
+  MOG_CHECK(ready_seconds >= 0 && seconds >= 0, "negative time");
+  StreamLane& lane = streams_[static_cast<std::size_t>(stream)];
+  double start = std::max(ready_seconds, dma_free_);
+  // Buffer rotation: slot (uploads % buffers) is free once the kernel that
+  // consumed upload (uploads - buffers) has completed. The scheduler always
+  // launches the consuming kernel before it uploads `buffers` frames ahead,
+  // so the release time is known here by construction.
+  if (lane.uploads >= static_cast<std::uint64_t>(lane.buffers)) {
+    const std::uint64_t reuse_of = lane.uploads -
+                                   static_cast<std::uint64_t>(lane.buffers);
+    MOG_CHECK(reuse_of < lane.consumed,
+              "upload outruns the stream's buffer rotation (kernel for the "
+              "reused slot not scheduled yet)");
+    start = std::max(
+        start, lane.release_seconds[static_cast<std::size_t>(reuse_of)]);
+  }
+  push(tl_, TimelineOp::Engine::kDma, stream, "up", start, seconds);
+  dma_free_ = start + seconds;
+  ++lane.uploads;
+  return Window{start, dma_free_};
+}
+
+SharedTimeline::Window SharedTimeline::schedule_kernel(int stream,
+                                                       double ready_seconds,
+                                                       double seconds,
+                                                       int uploads_consumed) {
+  MOG_CHECK(stream >= 0 && stream < num_streams(), "unknown timeline stream");
+  MOG_CHECK(ready_seconds >= 0 && seconds >= 0, "negative time");
+  MOG_CHECK(uploads_consumed >= 1, "a kernel must consume at least one frame");
+  StreamLane& lane = streams_[static_cast<std::size_t>(stream)];
+  MOG_CHECK(lane.consumed + static_cast<std::uint64_t>(uploads_consumed) <=
+                lane.uploads,
+            "kernel consumes frames that were never uploaded");
+  const double start = std::max(ready_seconds, kernel_free_);
+  const double end = start + seconds;
+  push(tl_, TimelineOp::Engine::kKernel, stream, "kernel", start, seconds);
+  kernel_free_ = end;
+  for (int i = 0; i < uploads_consumed; ++i) {
+    lane.release_seconds.push_back(end);
+    ++lane.consumed;
+  }
+  return Window{start, end};
+}
+
+SharedTimeline::Window SharedTimeline::schedule_download(int stream,
+                                                         double ready_seconds,
+                                                         double seconds) {
+  MOG_CHECK(stream >= 0 && stream < num_streams(), "unknown timeline stream");
+  MOG_CHECK(ready_seconds >= 0 && seconds >= 0, "negative time");
+  const double start = std::max(ready_seconds, dma_free_);
+  push(tl_, TimelineOp::Engine::kDma, stream, "down", start, seconds);
+  dma_free_ = start + seconds;
+  return Window{start, dma_free_};
+}
+
 std::string Timeline::ascii(int columns) const {
   MOG_CHECK(columns >= 16, "timeline needs at least 16 columns");
   if (ops.empty() || total_seconds <= 0) return "(empty timeline)\n";

@@ -41,4 +41,73 @@ Timeline simulate_sequential(const FrameSchedule& frame, int frames);
 /// Fig. 5(b): overlapped with double buffering and one copy engine.
 Timeline simulate_overlapped(const FrameSchedule& frame, int frames);
 
+/// Multi-stream generalization of the Fig. 5(b) contention model: one DMA
+/// engine and one kernel engine shared by any number of camera streams, with
+/// operations arriving incrementally instead of from a closed-form loop. The
+/// serving layer drives one of these per simulated device to model how N
+/// pipelines share the single copy engine.
+///
+/// Engine reservations are granted in call order (the engines are FIFOs,
+/// like real CUDA copy/compute queues), so the caller's enqueue order is
+/// part of the model — the serving scheduler enqueues the next round's
+/// uploads ahead of the previous round's downloads, which reproduces
+/// simulate_overlapped() exactly for a single stream (tests assert this).
+///
+/// Per stream, frames are FIFO through a bounded buffer pool: the upload of
+/// frame i may not start before the kernel that consumed frame i - buffers
+/// of the same stream has completed (double buffering is buffers = 2; the
+/// tiled variant rotates 2 * frame_group buffers at group granularity).
+class SharedTimeline {
+ public:
+  struct Window {
+    double start_seconds = 0;
+    double end_seconds = 0;
+  };
+
+  /// Register a stream with a `buffers`-deep device-buffer rotation.
+  /// Returns the stream's index.
+  int add_stream(int buffers = 2);
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Reserve the copy engine for one upload of `seconds`, no earlier than
+  /// `ready_seconds` (frame arrival) and not before the stream's buffer
+  /// rotation frees a slot.
+  Window schedule_upload(int stream, double ready_seconds, double seconds);
+
+  /// Reserve the kernel engine, no earlier than `ready_seconds` (the end of
+  /// the consumed uploads). `uploads_consumed` frames of the stream's buffer
+  /// rotation are released when this kernel completes (1 per frame for the
+  /// direct variants, frame_group for a tiled group launch).
+  Window schedule_kernel(int stream, double ready_seconds, double seconds,
+                         int uploads_consumed = 1);
+
+  /// Reserve the copy engine for a (possibly batched) download, no earlier
+  /// than `ready_seconds` (the producing kernel's end).
+  Window schedule_download(int stream, double ready_seconds, double seconds);
+
+  double dma_free_seconds() const { return dma_free_; }
+  double kernel_free_seconds() const { return kernel_free_; }
+
+  /// Every scheduled operation (TimelineOp::frame holds the stream index);
+  /// total_seconds is the makespan so far.
+  const Timeline& timeline() const { return tl_; }
+  double makespan_seconds() const { return tl_.total_seconds; }
+
+ private:
+  struct StreamLane {
+    int buffers = 2;
+    std::uint64_t uploads = 0;   ///< uploads scheduled so far
+    std::uint64_t consumed = 0;  ///< uploads released by scheduled kernels
+    /// release_seconds[i] = completion of the kernel that consumed upload i
+    /// (known for every i < consumed).
+    std::vector<double> release_seconds;
+  };
+
+  double dma_free_ = 0;
+  double kernel_free_ = 0;
+  std::vector<StreamLane> streams_;
+  Timeline tl_;
+};
+
 }  // namespace mog::gpusim

@@ -13,11 +13,41 @@ struct SsimTerms {
   double mean_cs;
 };
 
+/// Fallback for images smaller than the 11x11 window in either dimension:
+/// one SSIM term from whole-image statistics (the entire image acts as the
+/// single window). Continuous with the windowed path in spirit — identical
+/// formula, global rather than local moments — and well-defined down to 1x1.
+SsimTerms global_ssim_terms(const Image<double>& a, const Image<double>& b,
+                            const SsimOptions& opts) {
+  const double c1 = (opts.k1 * opts.peak) * (opts.k1 * opts.peak);
+  const double c2 = (opts.k2 * opts.peak) * (opts.k2 * opts.peak);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double var_a = 0.0, var_b = 0.0, cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    var_a += (a[i] - ma) * (a[i] - ma);
+    var_b += (b[i] - mb) * (b[i] - mb);
+    cov += (a[i] - ma) * (b[i] - mb);
+  }
+  var_a /= n;
+  var_b /= n;
+  cov /= n;
+  const double cs = (2.0 * cov + c2) / (var_a + var_b + c2);
+  const double lum = (2.0 * ma * mb + c1) / (ma * ma + mb * mb + c1);
+  return {lum * cs, cs};
+}
+
 SsimTerms ssim_terms(const Image<double>& a, const Image<double>& b,
                      const SsimOptions& opts) {
   MOG_CHECK(a.same_shape(b), "SSIM requires same-shaped images");
-  MOG_CHECK(a.width() >= 11 && a.height() >= 11,
-            "SSIM window needs at least 11x11 pixels");
+  MOG_CHECK(!a.empty(), "SSIM of empty images");
+  if (a.width() < 11 || a.height() < 11) return global_ssim_terms(a, b, opts);
 
   const double c1 = (opts.k1 * opts.peak) * (opts.k1 * opts.peak);
   const double c2 = (opts.k2 * opts.peak) * (opts.k2 * opts.peak);
@@ -67,7 +97,9 @@ double ms_ssim(const Image<double>& a, const Image<double>& b,
   MOG_CHECK(max_scales >= 1 && max_scales <= 5, "max_scales must be in [1,5]");
 
   // How many dyadic scales fit: the smallest level must still hold the
-  // 11x11 window.
+  // 11x11 window. Images below the window in either dimension get one scale
+  // through the global-statistics fallback in ssim_terms() instead of
+  // throwing — small synthetic test frames stay measurable.
   int scales = 0;
   {
     int w = a.width(), h = a.height();
@@ -77,7 +109,8 @@ double ms_ssim(const Image<double>& a, const Image<double>& b,
       h /= 2;
     }
   }
-  MOG_CHECK(scales >= 1, "image too small for MS-SSIM");
+  if (scales == 0) scales = 1;
+  MOG_CHECK(!a.empty(), "MS-SSIM of empty images");
 
   double wsum = 0.0;
   for (int s = 0; s < scales; ++s) wsum += kMsWeights[s];

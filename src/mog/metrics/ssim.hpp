@@ -9,7 +9,11 @@
 //
 // For images too small for 5 dyadic scales the scale count is reduced and
 // the exponent vector renormalized (standard practice; documented so results
-// on small test images are well-defined).
+// on small test images are well-defined). Images smaller than the 11x11
+// window in either dimension fall back to a single scale computed from
+// whole-image statistics (the image is the window) — same formula, global
+// moments — so ssim()/ms_ssim() are total functions down to 1x1 instead of
+// throwing on tiny fixtures.
 #pragma once
 
 #include "mog/common/image.hpp"

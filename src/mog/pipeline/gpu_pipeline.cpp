@@ -248,17 +248,26 @@ gpusim::KernelTiming GpuMogPipeline<T>::per_frame_kernel_timing() const {
 }
 
 template <typename T>
+gpusim::FrameSchedule GpuMogPipeline<T>::frame_schedule() const {
+  const std::size_t n = state_.num_pixels();
+  gpusim::FrameSchedule sched;
+  sched.upload_seconds = gpusim::transfer_seconds(device_.spec(), n);
+  sched.download_seconds = gpusim::transfer_seconds(device_.spec(), n);
+  const std::uint64_t processed =
+      frames_ - static_cast<std::uint64_t>(pending_);
+  sched.kernel_seconds =
+      processed == 0 ? 0.0 : per_frame_kernel_timing().total_seconds;
+  return sched;
+}
+
+template <typename T>
 double GpuMogPipeline<T>::modeled_seconds(std::uint64_t frames) const {
   const std::uint64_t processed =
       frames_ - static_cast<std::uint64_t>(pending_);
   if (frames == 0) frames = processed;
   if (frames == 0) return 0.0;
 
-  const std::size_t n = state_.num_pixels();
-  gpusim::FrameSchedule sched;
-  sched.upload_seconds = gpusim::transfer_seconds(device_.spec(), n);
-  sched.download_seconds = gpusim::transfer_seconds(device_.spec(), n);
-  sched.kernel_seconds = per_frame_kernel_timing().total_seconds;
+  const gpusim::FrameSchedule sched = frame_schedule();
 
   if (!config_.tiled) {
     return kernels::uses_overlap(config_.level)

@@ -105,6 +105,13 @@ class GpuMogPipeline {
   gpusim::Occupancy occupancy() const;
   gpusim::KernelTiming per_frame_kernel_timing() const;
 
+  /// Per-frame modeled schedule — upload / kernel / download seconds at the
+  /// current averaged counters. The kernel term is only meaningful once at
+  /// least one frame has been processed (it is 0 before); the transfer terms
+  /// depend only on the frame geometry. The serving layer uses this to
+  /// reserve shared-device time for each frame it multiplexes.
+  gpusim::FrameSchedule frame_schedule() const;
+
   /// Modeled end-to-end seconds for `frames` frames at this pipeline's
   /// resolution (defaults to the number actually processed), composing the
   /// per-frame kernel time with the variant's transfer schedule.
@@ -122,6 +129,7 @@ class GpuMogPipeline {
   /// The simulated device — exposed so recovery layers can install fault
   /// hooks and inspect memory accounting.
   gpusim::Device& device() { return device_; }
+  const gpusim::Device& device() const { return device_; }
   kernels::DeviceMogState<T>& state() { return state_; }
 
   const Config& config() const { return config_; }

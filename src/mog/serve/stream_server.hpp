@@ -1,0 +1,224 @@
+// Multi-stream serving layer: one simulated device, N camera streams.
+//
+// A StreamServer multiplexes independent camera streams onto one simulated
+// GPU. Functionally each stream owns a fault::ResilientPipeline (its own
+// model state — masks are bit-identical to running that stream alone, which
+// tests assert); *temporally* all streams share one gpusim::SharedTimeline:
+// a single DMA copy engine and a single compute engine, the C2075 contention
+// model of Fig. 5 generalized to incremental multi-stream arrival.
+//
+// Scheduling is a synchronous round pump. Each pump() round, in round-robin
+// order starting from a rotating cursor (fairness: no stream moves two
+// frames before another ready stream moves one):
+//
+//   1. ingest  — pop at most one frame per stream from its bounded queue and
+//                reserve the copy engine for its upload;
+//   2. deliver — reserve the copy engine for the *previous* round's pending
+//                mask downloads and complete their end-to-end latencies.
+//                Ordering uploads ahead of the older downloads reproduces
+//                the double-buffered FIFO order of simulate_overlapped()
+//                exactly for a single stream (tests assert the makespans
+//                match);
+//   3. compute — run the frame through the stream's pipeline; when masks
+//                come due (every frame for direct variants, once per group
+//                for tiled), reserve the kernel engine and defer the
+//                (batched) download to the next round's phase 2.
+//
+// Backpressure is explicit: bounded queues with a configurable DropPolicy,
+// every drop counted (frame_queue.hpp). Admission control bounds both the
+// stream count and the aggregate device-memory footprint. A stream that
+// degrades to the CPU tier stops consuming shared device time — its frames
+// complete on a private CPU clock instead.
+//
+// Per-stream telemetry goes to the installed global sinks: modeled op
+// windows on trace track TraceRecorder::kServeTrackBase + id, end-to-end
+// latencies into CounterRegistry custom series "serve.latency_seconds".
+//
+// Thread safety: every public method locks the server mutex; submit() may be
+// called from capture threads while the scheduler pumps. start()/stop() run
+// the pump on a background thread for live use; deterministic callers
+// (tests, benches) call pump()/drain() synchronously instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mog/fault/resilient_pipeline.hpp"
+#include "mog/gpusim/stream_sim.hpp"
+#include "mog/serve/frame_queue.hpp"
+#include "mog/telemetry/counters.hpp"
+
+namespace mog::serve {
+
+/// Thrown by open_stream() when admission control refuses a stream (stream
+/// cap or device-memory budget exceeded).
+class AdmissionError : public Error {
+ public:
+  explicit AdmissionError(const std::string& what) : Error(what) {}
+};
+
+struct ServeConfig {
+  int max_streams = 16;         ///< admission cap on concurrently open streams
+  std::size_t queue_depth = 8;  ///< per-stream ingress queue depth
+  DropPolicy drop_policy = DropPolicy::kDropNewest;
+
+  /// Aggregate device-memory budget for admission control; 0 uses the
+  /// simulated device's capacity.
+  std::size_t device_memory_budget_bytes = 0;
+
+  /// Recovery configuration for every stream's ResilientPipeline.
+  fault::ResilienceConfig resilience;
+
+  /// Keep delivered masks in memory for take_masks(); disable for soak
+  /// runs / benches that only need counters.
+  bool collect_masks = true;
+
+  void validate() const;
+};
+
+/// Per-stream observability snapshot.
+struct StreamStats {
+  QueueStats queue;
+  std::uint64_t frames_scheduled = 0;  ///< frames popped into the pipeline
+  std::uint64_t masks_delivered = 0;
+  double dma_seconds = 0;     ///< shared copy-engine time reserved
+  double kernel_seconds = 0;  ///< shared compute-engine time reserved
+  fault::ExecutionTier tier = fault::ExecutionTier::kTiledGpu;
+};
+
+template <typename T>
+class StreamServer {
+ public:
+  using GpuConfig = typename GpuMogPipeline<T>::Config;
+
+  explicit StreamServer(const ServeConfig& config);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Admit a stream: builds its ResilientPipeline and timeline lane. Throws
+  /// AdmissionError when the stream cap or the device-memory budget would be
+  /// exceeded (the stream is not admitted and nothing leaks). `injector` is
+  /// forwarded to the stream's ResilientPipeline. Returns the stream id.
+  int open_stream(const GpuConfig& gpu_config,
+                  std::shared_ptr<fault::FaultInjector> injector = nullptr);
+
+  /// Flush the stream's partial tiled group, deliver the remaining masks,
+  /// and release its pipeline (its memory leaves the admission budget). The
+  /// id is never reused.
+  void close_stream(int id);
+
+  /// Offer one frame to stream `id` at modeled time `arrival_seconds`.
+  /// Returns false when the queue's drop policy refused it. Thread-safe.
+  bool submit(int id, FrameU8 frame, double arrival_seconds = 0);
+
+  /// Run one scheduling round (see file comment). Returns the number of
+  /// frames ingested this round; pending downloads from the previous round
+  /// are delivered even when that count is 0.
+  int pump();
+
+  /// Pump until every queue is empty and every scheduled mask is delivered.
+  /// Partial tiled groups stay buffered (close_stream() flushes them).
+  void drain();
+
+  /// Flush stream `id`'s partial tiled group without closing it.
+  int flush_stream(int id);
+
+  /// Background scheduler thread driving pump() (live serving / TSan
+  /// coverage). Deterministic callers use pump()/drain() directly.
+  void start();
+  void stop();
+
+  /// Move out the masks delivered so far for stream `id` (arrival order).
+  /// Empty when ServeConfig::collect_masks is off.
+  std::vector<FrameU8> take_masks(int id);
+
+  int num_streams() const;       ///< streams ever opened
+  int open_streams() const;      ///< streams currently admitted
+  StreamStats stream_stats(int id) const;
+
+  /// End-to-end latency (arrival -> mask download complete) rollups.
+  telemetry::Rollup latency_rollup(int id) const;
+  telemetry::Rollup aggregate_latency_rollup() const;
+
+  std::uint64_t masks_delivered() const;  ///< aggregate across streams
+  std::uint64_t frames_dropped() const;   ///< aggregate queue drops
+
+  /// Modeled completion time across both shared engines and any CPU-tier
+  /// private clocks.
+  double makespan_seconds() const;
+
+  /// Aggregate device-memory bytes held by admitted streams.
+  std::size_t device_bytes_in_use() const;
+
+  const gpusim::SharedTimeline& timeline() const { return timeline_; }
+  const ServeConfig& config() const { return config_; }
+
+  /// Human-readable per-stream digest (examples, logs).
+  std::string summary() const;
+
+ private:
+  struct PendingDownload {
+    double ready_seconds = 0;           ///< producing kernel's end
+    std::vector<double> arrivals;       ///< arrival stamp per owed mask
+    std::vector<FrameU8> masks;         ///< functional masks (may be empty)
+  };
+
+  struct Stream {
+    std::unique_ptr<fault::ResilientPipeline<T>> pipeline;
+    std::unique_ptr<BoundedFrameQueue> queue;
+    int lane = -1;               ///< SharedTimeline stream index
+    bool open = true;
+    std::size_t device_bytes = 0;
+    fault::ExecutionTier last_tier = fault::ExecutionTier::kTiledGpu;
+
+    std::uint64_t uploads_outstanding = 0;  ///< scheduled, kernel not yet
+    double last_upload_end = 0;
+    std::deque<double> in_model;  ///< arrivals absorbed, masks pending
+    std::vector<PendingDownload> pending;
+
+    double cpu_clock = 0;  ///< private completion clock after CPU degrade
+    std::uint64_t frames_scheduled = 0;
+    std::uint64_t masks_delivered = 0;
+    double dma_seconds = 0;
+    double kernel_seconds = 0;
+    double last_completion = 0;
+    std::vector<double> latencies;
+    std::vector<FrameU8> collected;
+  };
+
+  Stream& stream_at(int id);
+  const Stream& stream_at(int id) const;
+  int pump_locked();
+  void deliver_pending(Stream& s, int id);
+  void complete_masks(Stream& s, int id, PendingDownload&& d,
+                      double end_seconds);
+  void finish_group(Stream& s, int id, std::vector<FrameU8> masks);
+  int flush_locked(int id);
+  void emit_window(int id, const char* kind, double start_seconds,
+                   double end_seconds);
+
+  ServeConfig config_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  gpusim::SharedTimeline timeline_;
+  int cursor_ = 0;
+  std::size_t bytes_in_use_ = 0;
+
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+extern template class StreamServer<float>;
+extern template class StreamServer<double>;
+
+}  // namespace mog::serve

@@ -39,6 +39,9 @@ class TraceRecorder {
   static constexpr int kWallTrack = 0;
   static constexpr int kModeledTrack = 1;
   static constexpr int kModeledOverlapTrack = 2;
+  /// Serving layer: stream k's modeled device ops render on track
+  /// kServeTrackBase + k, one row per camera stream.
+  static constexpr int kServeTrackBase = 8;
 
   explicit TraceRecorder(std::size_t capacity = 1 << 20)
       : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {}

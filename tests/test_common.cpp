@@ -150,6 +150,45 @@ TEST(Strutil, Percent) {
   EXPECT_EQ(percent(1.0, 0), "100%");
 }
 
+TEST(Strutil, ParseIntAcceptsStrictBase10) {
+  EXPECT_EQ(parse_int("0", 0, 100, "n"), 0);
+  EXPECT_EQ(parse_int("42", 0, 100, "n"), 42);
+  EXPECT_EQ(parse_int("-7", -10, 10, "n"), -7);
+  EXPECT_EQ(parse_int("+5", 0, 10, "n"), 5);
+}
+
+TEST(Strutil, ParseIntRejectsWhatAtoiSilentlyAccepts) {
+  // std::atoi("banana") == 0 and atoi("12x") == 12; both must throw here.
+  EXPECT_THROW(parse_int("banana", 0, 100, "n"), Error);
+  EXPECT_THROW(parse_int("12x", 0, 100, "n"), Error);
+  EXPECT_THROW(parse_int("", 0, 100, "n"), Error);
+  EXPECT_THROW(parse_int(" 12", 0, 100, "n"), Error);  // whole-input rule
+  EXPECT_THROW(parse_int("1.5", 0, 100, "n"), Error);
+  EXPECT_THROW(parse_int("99999999999999999999", 0, 100, "n"), Error);
+}
+
+TEST(Strutil, ParseIntEnforcesRangeAndNamesTheFlag) {
+  EXPECT_THROW(parse_int("101", 0, 100, "--count"), Error);
+  EXPECT_THROW(parse_int("-1", 0, 100, "--count"), Error);
+  try {
+    parse_int("bogus", 0, 100, "--count");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("--count"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Strutil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5", 0.0, 10.0, "x"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e-3", 0.0, 1.0, "x"), 1e-3);
+  EXPECT_THROW(parse_double("nan", 0.0, 1.0, "x"), Error);
+  EXPECT_THROW(parse_double("inf", 0.0, 1.0, "x"), Error);
+  EXPECT_THROW(parse_double("2.5pt", 0.0, 10.0, "x"), Error);
+  EXPECT_THROW(parse_double("11.0", 0.0, 10.0, "x"), Error);
+  EXPECT_THROW(parse_double("", 0.0, 10.0, "x"), Error);
+}
+
 TEST(Error, CheckMacroThrowsWithContext) {
   try {
     MOG_CHECK(1 == 2, "impossible arithmetic");

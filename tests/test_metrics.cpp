@@ -23,6 +23,18 @@ Image<double> test_image(int w = 96, int h = 96, std::uint64_t seed = 3) {
   return to_real<double>(scene.frame(0));
 }
 
+// Textured image at sizes below SyntheticScene's 16x16 floor: a ramp plus
+// seeded noise gives SSIM real structure to score.
+Image<double> tiny_image(int w, int h, std::uint64_t seed = 3) {
+  Rng rng{seed};
+  Image<double> img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.at(x, y) = std::clamp(
+          20.0 + 10.0 * x + 6.0 * y + rng.normal(0.0, 8.0), 0.0, 255.0);
+  return img;
+}
+
 Image<double> add_noise(const Image<double>& src, double sd,
                         std::uint64_t seed = 1) {
   Rng rng{seed};
@@ -148,9 +160,38 @@ TEST(MsSsim, ScaleReductionForSmallImages) {
   EXPECT_LT(m, 1.0);
 }
 
-TEST(MsSsim, RejectsTinyImages) {
-  const Image<double> a(8, 8, 1.0);
-  EXPECT_THROW(ms_ssim(a, a), Error);
+TEST(MsSsim, TinyImagesUseGlobalStatisticsFallback) {
+  // 8x8 is below the 11x11 window: one scale from whole-image statistics.
+  // Identity must still score 1 and degradation must still rank.
+  const Image<double> a = tiny_image(8, 8);
+  EXPECT_NEAR(ms_ssim(a, a), 1.0, 1e-12);
+  const double m1 = ms_ssim(a, add_noise(a, 5.0));
+  const double m2 = ms_ssim(a, add_noise(a, 40.0));
+  EXPECT_LT(m2, m1);
+  EXPECT_LT(m1, 1.0);
+  EXPECT_GE(m2, 0.0);
+}
+
+TEST(MsSsim, SixteenSquareGetsExactlyOneWindowedScale) {
+  // 16x16 holds the 11x11 window once; the 8x8 second scale must not be
+  // attempted (it would throw before the fallback existed).
+  const Image<double> a = test_image(16, 16);
+  EXPECT_NEAR(ms_ssim(a, a), 1.0, 1e-12);
+  const double m = ms_ssim(a, add_noise(a, 10.0));
+  EXPECT_GT(m, 0.0);
+  EXPECT_LT(m, 1.0);
+}
+
+TEST(MsSsim, SubWindowDimensionFallsBack) {
+  // 17x9: wide enough for the window but too short — either dimension below
+  // 11 must route to the global-statistics fallback, not throw.
+  const Image<double> a = tiny_image(17, 9);
+  EXPECT_NEAR(ms_ssim(a, a), 1.0, 1e-12);
+  const double m = ms_ssim(a, add_noise(a, 10.0));
+  EXPECT_GT(m, 0.0);
+  EXPECT_LT(m, 1.0);
+  // Single-scale ssim() takes the same fallback.
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-12);
 }
 
 TEST(Ssim, RejectsShapeMismatch) {

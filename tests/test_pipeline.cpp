@@ -2,11 +2,14 @@
 // BackgroundSubtractor facade — the integration layer the benches rely on.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mog/core/background_subtractor.hpp"
 #include "mog/cpu/serial_mog.hpp"
+#include "mog/fault/fault_injector.hpp"
+#include "mog/gpusim/kernel_launch.hpp"
 #include "mog/metrics/confusion.hpp"
 #include "mog/pipeline/experiment.hpp"
 #include "mog/pipeline/gpu_pipeline.hpp"
@@ -147,6 +150,156 @@ TEST(GpuPipeline, FlushOnNonTiledIsANoOp) {
   std::vector<FrameU8> out;
   EXPECT_EQ(pipe.flush(out), 0);
   EXPECT_TRUE(out.empty());
+}
+
+TEST(GpuPipeline, ProcessAndFlushRefuseWhileInFlight) {
+  // A mid-group download fault leaves the pipeline in_flight(); both entry
+  // points must refuse (precondition error, not corruption) until resume().
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  auto injector = std::make_shared<fault::FaultInjector>([] {
+    fault::FaultConfig fc;
+    fc.schedule.push_back({fault::FaultSite::kDownload, 1});
+    return fc;
+  }());
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 2;
+  cfg.tiled_config.tile_pixels = 64;
+  GpuMogPipeline<double> pipe{cfg};
+  pipe.device().set_fault_hook(injector.get());
+
+  FrameU8 fg;
+  EXPECT_FALSE(pipe.process(scene.frame(0), fg));
+  // Group completes: mask 0 downloads, mask 1's download faults.
+  EXPECT_THROW(pipe.process(scene.frame(1), fg), gpusim::TransferError);
+  ASSERT_TRUE(pipe.in_flight());
+
+  try {
+    pipe.process(scene.frame(2), fg);
+    FAIL() << "process() accepted work while in_flight()";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("resume"), std::string::npos);
+  }
+  std::vector<FrameU8> out;
+  EXPECT_THROW(pipe.flush(out), Error);
+  EXPECT_TRUE(pipe.in_flight());  // refusals must not clear the state
+
+  pipe.device().set_fault_hook(nullptr);
+  EXPECT_TRUE(pipe.resume(fg));
+  EXPECT_FALSE(pipe.in_flight());
+  EXPECT_EQ(pipe.last_group_masks().size(), 2u);
+  // Reusable: the next frame starts a fresh group.
+  EXPECT_FALSE(pipe.process(scene.frame(2), fg));
+}
+
+TEST(GpuPipeline, ResumeAfterGroupDownloadFaultMatchesFaultFreeRun) {
+  // The interrupted download is re-fetched without re-running the update
+  // kernel, so the recovered masks must be byte-identical to a run that
+  // never faulted.
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  GpuMogPipeline<double>::Config cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 4;
+  cfg.tiled_config.tile_pixels = 64;
+
+  GpuMogPipeline<double> reference{cfg};
+  FrameU8 fg;
+  for (int t = 0; t < 4; ++t) reference.process(scene.frame(t), fg);
+  const std::vector<FrameU8> expected = reference.last_group_masks();
+  ASSERT_EQ(expected.size(), 4u);
+
+  auto injector = std::make_shared<fault::FaultInjector>([] {
+    fault::FaultConfig fc;
+    fc.schedule.push_back({fault::FaultSite::kDownload, 1});  // 2nd mask
+    return fc;
+  }());
+  GpuMogPipeline<double> faulted{cfg};
+  faulted.device().set_fault_hook(injector.get());
+  for (int t = 0; t < 3; ++t) EXPECT_FALSE(faulted.process(scene.frame(t), fg));
+  EXPECT_THROW(faulted.process(scene.frame(3), fg), gpusim::TransferError);
+  ASSERT_TRUE(faulted.in_flight());
+  // The failed attempt consumed schedule index 1, so resume() re-fetches the
+  // remaining masks cleanly.
+  EXPECT_TRUE(faulted.resume(fg));
+  EXPECT_FALSE(faulted.in_flight());
+
+  const std::vector<FrameU8>& recovered = faulted.last_group_masks();
+  ASSERT_EQ(recovered.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(recovered[i], expected[i]) << "mask " << i;
+  EXPECT_EQ(fg, expected.back());
+  EXPECT_EQ(faulted.frames_processed(), reference.frames_processed());
+}
+
+TEST(GpuPipeline, AbortInFlightLeavesPipelineReusable) {
+  const SyntheticScene scene{[] {
+    SceneConfig c;
+    c.width = kW;
+    c.height = kH;
+    return c;
+  }()};
+  // Case 1: lost mask downloads (model already updated) — abort discards no
+  // buffered input frames.
+  {
+    auto injector = std::make_shared<fault::FaultInjector>([] {
+      fault::FaultConfig fc;
+      fc.download_fault_prob = 1.0;
+      return fc;
+    }());
+    GpuMogPipeline<double>::Config cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    GpuMogPipeline<double> pipe{cfg};
+    pipe.device().set_fault_hook(injector.get());
+    FrameU8 fg;
+    EXPECT_THROW(pipe.process(scene.frame(0), fg), gpusim::TransferError);
+    ASSERT_TRUE(pipe.in_flight());
+    EXPECT_EQ(pipe.abort_in_flight(), 0);
+    EXPECT_FALSE(pipe.in_flight());
+    pipe.device().set_fault_hook(nullptr);
+    EXPECT_TRUE(pipe.process(scene.frame(1), fg));
+    EXPECT_EQ(pipe.frames_processed(), 2u);  // frame 0 did update the model
+  }
+  // Case 2: a failed group launch — the whole buffered group is discarded
+  // and the pipeline accepts new groups afterwards.
+  {
+    auto injector = std::make_shared<fault::FaultInjector>([] {
+      fault::FaultConfig fc;
+      fc.schedule.push_back({fault::FaultSite::kLaunch, 0});
+      return fc;
+    }());
+    GpuMogPipeline<double>::Config cfg;
+    cfg.width = kW;
+    cfg.height = kH;
+    cfg.tiled = true;
+    cfg.tiled_config.frame_group = 2;
+    cfg.tiled_config.tile_pixels = 64;
+    GpuMogPipeline<double> pipe{cfg};
+    pipe.device().set_fault_hook(injector.get());
+    FrameU8 fg;
+    EXPECT_FALSE(pipe.process(scene.frame(0), fg));
+    EXPECT_THROW(pipe.process(scene.frame(1), fg), gpusim::LaunchError);
+    ASSERT_TRUE(pipe.in_flight());
+    EXPECT_EQ(pipe.abort_in_flight(), 2);  // both buffered frames discarded
+    EXPECT_FALSE(pipe.in_flight());
+    EXPECT_FALSE(pipe.process(scene.frame(2), fg));
+    EXPECT_TRUE(pipe.process(scene.frame(3), fg));
+    EXPECT_EQ(pipe.last_group_masks().size(), 2u);
+  }
 }
 
 TEST(GpuPipeline, OverlapReducesModeledTime) {
