@@ -13,6 +13,8 @@
 // Options:
 //   --rel-tol X      default relative tolerance band (default 0.02)
 //   --include-wall   also gate metrics prefixed "wall_" (off by default)
+//   --json PATH      also write a machine-readable diff (per-metric
+//                    baseline/fresh/rel-delta/verdict rows) for CI artifacts
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -34,18 +36,25 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline file|dir> <fresh file|dir> "
-               "[--rel-tol X] [--include-wall]\n",
+               "[--rel-tol X] [--include-wall] [--json PATH]\n",
                argv0);
   return 1;
 }
 
-/// Gate one baseline file against one fresh file; prints the verdict table.
+/// Gate one baseline file against one fresh file; prints the verdict table
+/// and appends a machine-readable entry to `json_reports`.
 bool gate_pair(const fs::path& baseline, const fs::path& fresh,
-               const GateOptions& options) {
+               const GateOptions& options,
+               std::vector<mog::telemetry::Json>& json_reports) {
   const std::string label = baseline.filename().string();
   if (!fs::exists(fresh)) {
     std::printf("FAIL %s: fresh report %s missing\n", label.c_str(),
                 fresh.string().c_str());
+    mog::telemetry::Json entry = mog::telemetry::Json::object();
+    entry.set("label", label);
+    entry.set("ok", false);
+    entry.set("error", "fresh report missing: " + fresh.string());
+    json_reports.push_back(std::move(entry));
     return false;
   }
   const GateResult result = mog::telemetry::gate_reports(
@@ -53,13 +62,29 @@ bool gate_pair(const fs::path& baseline, const fs::path& fresh,
       mog::telemetry::read_json_file(fresh.string()), options);
   std::printf("%s\n",
               mog::telemetry::format_gate_result(label, result).c_str());
+  json_reports.push_back(mog::telemetry::gate_result_to_json(label, result));
   return result.ok();
+}
+
+/// Writes the accumulated per-pair diffs as one JSON document for CI upload.
+void write_json_artifact(const std::string& path, bool ok,
+                         std::vector<mog::telemetry::Json> reports) {
+  mog::telemetry::Json doc = mog::telemetry::Json::object();
+  doc.set("schema", std::string("mog-bench-gate/1"));
+  doc.set("ok", ok);
+  mog::telemetry::Json array = mog::telemetry::Json::array();
+  for (mog::telemetry::Json& report : reports)
+    array.push_back(std::move(report));
+  doc.set("reports", std::move(array));
+  mog::telemetry::write_json_file(path, doc);
+  std::printf("bench_gate: wrote JSON diff to %s\n", path.c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
+  std::string json_path;
   GateOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--include-wall") == 0) {
@@ -67,6 +92,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rel-tol") == 0) {
       if (++i == argc) return usage(argv[0]);
       options.default_rel_tol = std::atof(argv[i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (++i == argc) return usage(argv[0]);
+      json_path = argv[i];
     } else {
       positional.emplace_back(argv[i]);
     }
@@ -77,8 +105,13 @@ int main(int argc, char** argv) {
   const fs::path fresh{positional[1]};
 
   try {
-    if (!fs::is_directory(baseline))
-      return gate_pair(baseline, fresh, options) ? 0 : 1;
+    std::vector<mog::telemetry::Json> json_reports;
+    if (!fs::is_directory(baseline)) {
+      const bool ok = gate_pair(baseline, fresh, options, json_reports);
+      if (!json_path.empty())
+        write_json_artifact(json_path, ok, std::move(json_reports));
+      return ok ? 0 : 1;
+    }
 
     // Directory mode: every checked-in baseline must have a fresh twin.
     std::vector<fs::path> baselines;
@@ -96,9 +129,11 @@ int main(int argc, char** argv) {
     }
     bool ok = true;
     for (const fs::path& b : baselines)
-      ok = gate_pair(b, fresh / b.filename(), options) && ok;
+      ok = gate_pair(b, fresh / b.filename(), options, json_reports) && ok;
     std::printf("\nbench_gate: %s (%zu report%s)\n", ok ? "PASS" : "FAIL",
                 baselines.size(), baselines.size() == 1 ? "" : "s");
+    if (!json_path.empty())
+      write_json_artifact(json_path, ok, std::move(json_reports));
     return ok ? 0 : 1;
   } catch (const mog::Error& e) {
     std::fprintf(stderr, "bench_gate: %s\n", e.what());

@@ -1,0 +1,69 @@
+// mogprof: nvprof-style digestion of counter dumps.
+//
+// Usage:
+//   mogprof <dump.json>                     per-kernel table + A..F step report
+//   mogprof --diff <baseline.json> <fresh.json>
+//
+// A dump is either a schema-v1 bench report (BENCH_*.json) or a
+// CounterRegistry::to_json() dump. The tool reconstructs per-kernel
+// divergence, coalescing efficiency, occupancy, achieved DRAM bandwidth and
+// a memory-/compute-bound roofline verdict, and — when the dump's cases are
+// the paper's optimization levels — attributes each A..F step to the
+// counters it moved.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mog/common/error.hpp"
+#include "mog/obs/profile.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump.json>\n"
+               "       %s --diff <baseline.json> <fresh.json>\n"
+               "dumps are BENCH_*.json reports or CounterRegistry dumps\n",
+               argv0, argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool diff = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--diff") == 0)
+      diff = true;
+    else
+      positional.emplace_back(argv[i]);
+  }
+
+  try {
+    if (diff) {
+      if (positional.size() != 2) return usage(argv[0]);
+      const mog::obs::ProfileDump baseline =
+          mog::obs::load_profile_file(positional[0]);
+      const mog::obs::ProfileDump fresh =
+          mog::obs::load_profile_file(positional[1]);
+      std::fputs(mog::obs::render_profile_diff(baseline, fresh).c_str(),
+                 stdout);
+      return 0;
+    }
+    if (positional.size() != 1) return usage(argv[0]);
+    const mog::obs::ProfileDump dump =
+        mog::obs::load_profile_file(positional[0]);
+    std::fputs(mog::obs::render_profile_table(dump).c_str(), stdout);
+    const std::string steps = mog::obs::render_step_report(dump);
+    if (!steps.empty()) {
+      std::fputs("\n", stdout);
+      std::fputs(steps.c_str(), stdout);
+    }
+    return 0;
+  } catch (const mog::Error& e) {
+    std::fprintf(stderr, "mogprof: %s\n", e.what());
+    return 1;
+  }
+}

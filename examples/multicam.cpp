@@ -6,22 +6,33 @@
 //
 //   $ ./examples/multicam [--streams N] [--frames N] [--depth N]
 //                         [--drop newest|oldest] [--tiled G]
+//                         [--obs-port P] [--hold-seconds S]
 //
 // Cameras submit frames at a 30 fps arrival cadence. With a shallow queue
 // (--depth 2) and many streams you can watch the drop counters engage; with
 // --tiled G each stream batches G frames per kernel launch (§IV-D).
+//
+// --obs-port P exposes the live observability plane (GET /metrics, /healthz,
+// /statusz) on 127.0.0.1:P for the server's lifetime (P=0 picks an ephemeral
+// port, printed at startup) and mirrors the server's structured logs to
+// stderr as JSON lines. --hold-seconds S keeps the process (and thus the
+// endpoints) alive S seconds after the run so a scraper can collect the
+// final counters.
 //
 // Masks, mask counts, and the modeled makespan are deterministic, but the
 // latency percentiles vary run to run: which scheduler round ingests a
 // frame depends on how live submissions interleave with the background
 // worker — exactly as in a real server. For bit-reproducible numbers use
 // the synchronous drain() path (tests/test_serve.cpp, bench_serve).
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mog/common/error.hpp"
 #include "mog/common/strutil.hpp"
+#include "mog/obs/log.hpp"
 #include "mog/serve/stream_server.hpp"
 #include "mog/video/scene.hpp"
 
@@ -31,7 +42,8 @@ namespace {
   std::fprintf(stderr, "multicam: %s\n", why.c_str());
   std::fprintf(stderr,
                "usage: multicam [--streams N] [--frames N] [--depth N]\n"
-               "                [--drop newest|oldest] [--tiled G]\n");
+               "                [--drop newest|oldest] [--tiled G]\n"
+               "                [--obs-port P] [--hold-seconds S]\n");
   std::exit(2);
 }
 
@@ -41,7 +53,9 @@ int main(int argc, char** argv) try {
   int streams = 4;
   int frames = 48;
   int depth = 8;
-  int tiled_group = 0;  // 0 = per-frame direct kernels
+  int tiled_group = 0;   // 0 = per-frame direct kernels
+  int obs_port = -1;     // -1 = observability endpoints off
+  int hold_seconds = 0;  // keep the endpoints up after the run
   mog::serve::DropPolicy drop = mog::serve::DropPolicy::kDropNewest;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +73,11 @@ int main(int argc, char** argv) try {
         depth = mog::parse_int(need("--depth"), 1, 1 << 16, "--depth");
       else if (arg == "--tiled")
         tiled_group = mog::parse_int(need("--tiled"), 1, 64, "--tiled");
+      else if (arg == "--obs-port")
+        obs_port = mog::parse_int(need("--obs-port"), 0, 65535, "--obs-port");
+      else if (arg == "--hold-seconds")
+        hold_seconds =
+            mog::parse_int(need("--hold-seconds"), 0, 3600, "--hold-seconds");
       else if (arg == "--drop") {
         const std::string v = need("--drop");
         if (v == "newest")
@@ -75,12 +94,22 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // With the observability plane on, mirror the server's structured logs to
+  // stderr; the sink is unowned, so it must outlive the server below.
+  mog::obs::StderrSink log_sink;
+  if (obs_port >= 0) mog::obs::default_logger().add_sink(&log_sink);
+
   mog::serve::ServeConfig cfg;
   cfg.max_streams = streams;
   cfg.queue_depth = static_cast<std::size_t>(depth);
   cfg.drop_policy = drop;
   cfg.collect_masks = false;
+  cfg.obs_port = obs_port;
   mog::serve::StreamServer<float> server{cfg};
+  if (obs_port >= 0)
+    std::printf("observability: http://127.0.0.1:%d/metrics (also /healthz, "
+                "/statusz)\n",
+                server.obs_port());
 
   const mog::SceneConfig presets[] = {
       mog::SceneConfig::highway(192, 108),
@@ -126,6 +155,12 @@ int main(int argc, char** argv) try {
           server.makespan_seconds(),
       1e3 * lat.p99,
       static_cast<unsigned long long>(server.frames_dropped()));
+  if (hold_seconds > 0) {
+    std::printf("holding %d s for scrapers...\n", hold_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(hold_seconds));
+  }
+  if (obs_port >= 0) mog::obs::default_logger().remove_sink(&log_sink);
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "multicam: %s\n", e.what());

@@ -21,6 +21,7 @@
 #include "mog/fault/fault_injector.hpp"
 #include "mog/fault/resilient_pipeline.hpp"
 #include "mog/metrics/confusion.hpp"
+#include "mog/obs/log.hpp"
 #include "mog/telemetry/telemetry.hpp"
 #include "mog/video/pnm_io.hpp"
 #include "mog/video/scene.hpp"
@@ -120,6 +121,11 @@ int main(int argc, char** argv) try {
   mog::telemetry::set_tracer(&trace);
   mog::telemetry::set_counters(&counters);
 
+  // Structured logs to stderr: the fault layer narrates every retry,
+  // ladder step, and rollback as one JSON line per event.
+  mog::obs::StderrSink log_sink;
+  mog::obs::default_logger().add_sink(&log_sink);
+
   mog::fault::ResilienceConfig res_cfg;
   res_cfg.checkpoint_interval = 64;
   res_cfg.health_check_interval = 16;
@@ -183,6 +189,11 @@ int main(int argc, char** argv) try {
               trace.size(), trace_path.c_str());
   std::printf("%s", counters.summary(static_cast<std::uint64_t>(
                                          truth_frames)).c_str());
+  const std::string counters_path = out_dir + "/surveillance_counters.json";
+  mog::telemetry::write_json_file(counters_path, counters.to_json());
+  std::printf("\ncounter dump -> %s (digest with `mogprof %s`)\n",
+              counters_path.c_str(), counters_path.c_str());
+  mog::obs::default_logger().remove_sink(&log_sink);
   mog::telemetry::set_tracer(nullptr);
   mog::telemetry::set_counters(nullptr);
   return 0;

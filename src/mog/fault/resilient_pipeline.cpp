@@ -6,11 +6,24 @@
 #include "mog/common/strutil.hpp"
 #include "mog/cpu/cost_model.hpp"
 #include "mog/cpu/model_io.hpp"
+#include "mog/obs/frame_ticket.hpp"
+#include "mog/obs/log.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
 namespace mog::fault {
 
 namespace {
+
+const obs::ScopedLogger klog{"fault"};
+
+/// Tag a recovery trace instant with the frame ticket in scope, so the
+/// serving layer's per-frame flow chains name the frame an action salvaged.
+std::vector<std::pair<std::string, double>> with_ticket(
+    std::vector<std::pair<std::string, double>> args) {
+  if (const std::uint64_t t = obs::current_frame_ticket(); t != 0)
+    args.emplace_back("ticket", static_cast<double>(t));
+  return args;
+}
 
 // A burst-corrupted frame is saturated (0/255) over a large contiguous
 // band; clean camera frames are not. Conservative: a false positive only
@@ -157,8 +170,11 @@ bool ResilientPipeline<T>::salvage(FrameU8& fg, std::uint64_t& counter) {
   ++stats_.masks_reused;
   ++stats_.masks_delivered;
   fg = last_mask_;
-  telemetry::emit_instant("mask_salvaged", "recovery",
-                          {{"frame", static_cast<double>(stats_.frames_in)}});
+  telemetry::emit_instant(
+      "mask_salvaged", "recovery",
+      with_ticket({{"frame", static_cast<double>(stats_.frames_in)}}));
+  klog.debug("mask salvaged",
+             {{"frame", static_cast<std::int64_t>(stats_.frames_in)}});
   return true;
 }
 
@@ -214,8 +230,10 @@ bool ResilientPipeline<T>::run_gpu_with_retry(const FrameU8& frame,
       stats_.backoff_seconds +=
           res_.retry.backoff_base_seconds *
           std::pow(res_.retry.backoff_multiplier, attempt - 2);
-      telemetry::emit_instant("retry", "recovery",
-                              {{"attempt", static_cast<double>(attempt)}});
+      telemetry::emit_instant(
+          "retry", "recovery",
+          with_ticket({{"attempt", static_cast<double>(attempt)}}));
+      klog.warn("transient device fault, retrying", {{"attempt", attempt}});
     }
     try {
       // A failed download leaves the pipeline in_flight(); resume() fetches
@@ -230,10 +248,10 @@ bool ResilientPipeline<T>::run_gpu_with_retry(const FrameU8& frame,
       return true;
     } catch (const gpusim::TransferError&) {
       ++stats_.transfer_faults;
-      telemetry::emit_instant("transfer_fault", "fault");
+      telemetry::emit_instant("transfer_fault", "fault", with_ticket({}));
     } catch (const gpusim::LaunchError&) {
       ++stats_.launch_faults;
-      telemetry::emit_instant("launch_fault", "fault");
+      telemetry::emit_instant("launch_fault", "fault", with_ticket({}));
     }
   }
 
@@ -273,9 +291,12 @@ void ResilientPipeline<T>::degrade() {
   restore_model(carry);
   ++stats_.degradations;
   consecutive_lost_ = 0;
-  telemetry::emit_instant("degrade", "recovery",
-                          {{"from_tier", static_cast<double>(from)},
-                           {"to_tier", static_cast<double>(tier_)}});
+  telemetry::emit_instant(
+      "degrade", "recovery",
+      with_ticket({{"from_tier", static_cast<double>(from)},
+                   {"to_tier", static_cast<double>(tier_)}}));
+  klog.warn("degraded down the execution ladder",
+            {{"from", to_string(from)}, {"to", to_string(tier_)}});
 }
 
 template <typename T>
@@ -318,8 +339,11 @@ void ResilientPipeline<T>::after_absorbed_frame() {
 template <typename T>
 void ResilientPipeline<T>::rollback() {
   ++stats_.rollbacks;
-  telemetry::emit_instant("rollback", "recovery",
-                          {{"has_checkpoint", has_checkpoint_ ? 1.0 : 0.0}});
+  telemetry::emit_instant(
+      "rollback", "recovery",
+      with_ticket({{"has_checkpoint", has_checkpoint_ ? 1.0 : 0.0}}));
+  klog.warn("model unhealthy, rolling back",
+            {{"has_checkpoint", has_checkpoint_}});
   if (has_checkpoint_) {
     restore_model(checkpoint_);
   } else {
@@ -341,7 +365,7 @@ void ResilientPipeline<T>::take_checkpoint() {
   ++stats_.checkpoints;
   telemetry::emit_instant(
       "checkpoint", "recovery",
-      {{"frame", static_cast<double>(stats_.frames_absorbed)}});
+      with_ticket({{"frame", static_cast<double>(stats_.frames_absorbed)}}));
   if (!res_.checkpoint_path.empty())
     save_model(res_.checkpoint_path, checkpoint_);
 }

@@ -105,6 +105,7 @@ SharedTimeline::Window SharedTimeline::schedule_upload(int stream,
   }
   push(tl_, TimelineOp::Engine::kDma, stream, "up", start, seconds);
   dma_free_ = start + seconds;
+  dma_busy_ += seconds;
   ++lane.uploads;
   return Window{start, dma_free_};
 }
@@ -124,6 +125,7 @@ SharedTimeline::Window SharedTimeline::schedule_kernel(int stream,
   const double end = start + seconds;
   push(tl_, TimelineOp::Engine::kKernel, stream, "kernel", start, seconds);
   kernel_free_ = end;
+  kernel_busy_ += seconds;
   for (int i = 0; i < uploads_consumed; ++i) {
     lane.release_seconds.push_back(end);
     ++lane.consumed;
@@ -139,6 +141,7 @@ SharedTimeline::Window SharedTimeline::schedule_download(int stream,
   const double start = std::max(ready_seconds, dma_free_);
   push(tl_, TimelineOp::Engine::kDma, stream, "down", start, seconds);
   dma_free_ = start + seconds;
+  dma_busy_ += seconds;
   return Window{start, dma_free_};
 }
 

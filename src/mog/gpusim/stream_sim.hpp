@@ -89,6 +89,13 @@ class SharedTimeline {
   double dma_free_seconds() const { return dma_free_; }
   double kernel_free_seconds() const { return kernel_free_; }
 
+  /// Cumulative seconds each engine spent occupied. Divided by the makespan
+  /// these are the copy/compute utilizations the /metrics endpoint exports —
+  /// the saturation signal that says which engine is the multi-stream
+  /// bottleneck (the paper's single copy engine usually saturates first).
+  double dma_busy_seconds() const { return dma_busy_; }
+  double kernel_busy_seconds() const { return kernel_busy_; }
+
   /// Every scheduled operation (TimelineOp::frame holds the stream index);
   /// total_seconds is the makespan so far.
   const Timeline& timeline() const { return tl_; }
@@ -106,6 +113,8 @@ class SharedTimeline {
 
   double dma_free_ = 0;
   double kernel_free_ = 0;
+  double dma_busy_ = 0;
+  double kernel_busy_ = 0;
   std::vector<StreamLane> streams_;
   Timeline tl_;
 };

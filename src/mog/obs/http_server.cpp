@@ -1,0 +1,154 @@
+#include "mog/obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "mog/common/error.hpp"
+#include "mog/common/strutil.hpp"
+
+namespace mog::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  MOG_CHECK(!running_, "register handlers before start()");
+  MOG_CHECK(handler != nullptr, "null HTTP handler");
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+void HttpServer::start(int port) {
+  MOG_CHECK(!running_, "HTTP server already running");
+  MOG_CHECK(port >= 0 && port <= 65535, "HTTP port out of range");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MOG_CHECK(listen_fd_ >= 0, "socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error{strprintf("cannot bind 127.0.0.1:%d: %s", port,
+                          std::strerror(err))};
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Unblock accept(): shutdown on a listening socket returns it with an
+  // error on Linux. The close happens after the join so the fd cannot be
+  // reused by another thread while accept still references it.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+void HttpServer::serve_loop() {
+  while (running_) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_) break;
+      if (errno == EINTR) continue;
+      break;  // listener broken: stop serving rather than spin
+    }
+
+    // Read until the end of the request headers (the endpoints are all GET,
+    // so no body) with a small cap against garbage input.
+    std::string raw;
+    char buf[2048];
+    while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 16384) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      raw.append(buf, static_cast<std::size_t>(n));
+    }
+
+    HttpResponse response;
+    const std::size_t line_end = raw.find("\r\n");
+    std::size_t sp1 = std::string::npos, sp2 = std::string::npos;
+    if (line_end != std::string::npos) {
+      sp1 = raw.find(' ');
+      sp2 = sp1 == std::string::npos ? std::string::npos
+                                     : raw.find(' ', sp1 + 1);
+    }
+    if (sp2 == std::string::npos || sp2 > line_end) {
+      response.status = 400;
+      response.body = "malformed request\n";
+    } else {
+      HttpRequest request;
+      request.method = raw.substr(0, sp1);
+      request.path = raw.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t query = request.path.find('?');
+      if (query != std::string::npos) request.path.resize(query);
+      response = dispatch(request);
+    }
+
+    std::string out = strprintf(
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        response.status, status_text(response.status),
+        response.content_type.c_str(), response.body.size());
+    out += response.body;
+    write_all(client, out);
+    ::shutdown(client, SHUT_WR);
+    ::close(client);
+  }
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  if (request.method != "GET" && request.method != "HEAD")
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  for (const auto& [path, handler] : handlers_)
+    if (path == request.path) return handler(request);
+  return {404, "text/plain; charset=utf-8",
+          "not found; try /metrics, /healthz, /statusz\n"};
+}
+
+}  // namespace mog::obs

@@ -1,0 +1,75 @@
+// Minimal embedded HTTP/1.1 server for the observability endpoints.
+//
+// POSIX sockets only — no third-party dependency. One listener bound to
+// 127.0.0.1 (observability is host-local; put a real proxy in front for
+// anything else), one blocking accept loop on its own thread, one request
+// per connection (Connection: close). That is deliberately primitive: a
+// /metrics scrape every few seconds and the occasional /healthz probe do
+// not justify a connection pool.
+//
+// Handlers run on the server thread and may block briefly (they typically
+// take the owning subsystem's mutex to snapshot state). Registration is
+// done before start(); the server never mutates handler state.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mog::obs {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  ///< without query string
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Content type Prometheus scrapers expect from /metrics.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register an exact-path handler (no patterns). Must precede start().
+  void handle(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port — tests) and start
+  /// the accept loop. Throws mog::Error when the bind fails.
+  void start(int port);
+
+  /// Stop accepting, join the server thread. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// The actually bound port (resolves port 0); -1 before start().
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace mog::obs

@@ -20,7 +20,8 @@ BoundedFrameQueue::BoundedFrameQueue(std::size_t depth, DropPolicy policy)
   MOG_CHECK(depth >= 1, "frame queue needs a positive depth");
 }
 
-bool BoundedFrameQueue::push(FrameU8 frame, double arrival_seconds) {
+bool BoundedFrameQueue::push(FrameU8 frame, double arrival_seconds,
+                             std::uint64_t ticket) {
   MOG_CHECK(arrival_seconds >= 0, "negative arrival time");
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.submitted;
@@ -33,7 +34,7 @@ bool BoundedFrameQueue::push(FrameU8 frame, double arrival_seconds) {
     q_.pop_front();  // kDropOldest: evict the stalest frame
     ++stats_.dropped;
   }
-  q_.push_back(QueuedFrame{std::move(frame), arrival_seconds, seq});
+  q_.push_back(QueuedFrame{std::move(frame), arrival_seconds, seq, ticket});
   ++stats_.accepted;
   stats_.high_water = std::max<std::uint64_t>(stats_.high_water, q_.size());
   return true;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "mog/common/strutil.hpp"
+#include "mog/obs/frame_ticket.hpp"
+#include "mog/obs/prometheus.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
 namespace mog::serve {
@@ -23,17 +25,48 @@ std::int64_t to_us(double seconds) {
 void ServeConfig::validate() const {
   MOG_CHECK(max_streams >= 1, "serving needs at least one stream slot");
   MOG_CHECK(queue_depth >= 1, "queue depth must be positive");
+  MOG_CHECK(obs_port <= 65535, "obs_port out of range");
   resilience.validate();
 }
 
 template <typename T>
 StreamServer<T>::StreamServer(const ServeConfig& config) : config_(config) {
   config_.validate();
+  start_obs_server();
 }
 
 template <typename T>
 StreamServer<T>::~StreamServer() {
+  obs_http_.stop();  // no scrape may touch a half-destroyed server
   stop();
+}
+
+template <typename T>
+void StreamServer<T>::start_obs_server() {
+  if (config_.obs_port < 0) return;
+  obs_http_.handle("/metrics", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.content_type = obs::kPrometheusContentType;
+    r.body = metrics_text();
+    return r;
+  });
+  obs_http_.handle("/healthz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    std::string detail;
+    const bool ok = healthz(detail);
+    r.status = ok ? 200 : 503;
+    r.body = (ok ? "ok\n" : "unhealthy\n") + detail;
+    return r;
+  });
+  obs_http_.handle("/statusz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = statusz();
+    return r;
+  });
+  obs_http_.start(config_.obs_port);
+  log_.info("observability endpoint up",
+            {{"port", obs_http_.port()},
+             {"endpoints", "/metrics /healthz /statusz"}});
 }
 
 template <typename T>
@@ -72,7 +105,12 @@ int StreamServer<T>::open_stream(
   s->device_bytes = bytes;
   bytes_in_use_ += bytes;
   streams_.push_back(std::move(s));
-  return static_cast<int>(streams_.size()) - 1;
+  const int id = static_cast<int>(streams_.size()) - 1;
+  log_.info("stream opened",
+            {{"stream", id},
+             {"buffers", buffers},
+             {"device_bytes", static_cast<std::int64_t>(bytes)}});
+  return id;
 }
 
 template <typename T>
@@ -86,16 +124,31 @@ void StreamServer<T>::close_stream(int id) {
   s.last_tier = s.pipeline->tier();
   s.pipeline.reset();
   s.open = false;
+  log_.info("stream closed",
+            {{"stream", id},
+             {"masks_delivered",
+              static_cast<std::int64_t>(s.masks_delivered)}});
 }
 
 template <typename T>
 bool StreamServer<T>::submit(int id, FrameU8 frame, double arrival_seconds) {
   bool accepted = false;
+  const std::uint64_t ticket = obs::mint_frame_ticket();
   {
     std::lock_guard<std::mutex> lock(mu_);
     Stream& s = stream_at(id);
     MOG_CHECK(s.open, "submit to a closed stream");
-    accepted = s.queue->push(std::move(frame), arrival_seconds);
+    accepted = s.queue->push(std::move(frame), arrival_seconds, ticket);
+    if (accepted) {
+      // Flow begin: the frame's journey starts at queue admission; every
+      // later hop (upload, kernel, download) extends this ticket's chain.
+      emit_flow('s', ticket, id, arrival_seconds);
+    } else {
+      log_.warn("frame dropped at ingress",
+                {{"stream", id},
+                 {"ticket", static_cast<std::int64_t>(ticket)},
+                 {"policy", to_string(config_.drop_policy)}});
+    }
   }
   cv_.notify_all();
   return accepted;
@@ -142,6 +195,7 @@ int StreamServer<T>::pump_locked() {
       s.dma_seconds += w.end_seconds - w.start_seconds;
       ++s.uploads_outstanding;
       emit_window(id, "up", w.start_seconds, w.end_seconds);
+      emit_flow('t', qf.ticket, id, w.start_seconds);
     }
     popped.push_back(Popped{id, std::move(qf)});
   }
@@ -160,8 +214,20 @@ int StreamServer<T>::pump_locked() {
     const bool was_gpu = s.pipeline->gpu_pipeline() != nullptr;
 
     FrameU8 fg;
-    const bool delivered = s.pipeline->process(p.qf.frame, fg);
-    s.last_tier = s.pipeline->tier();
+    bool delivered;
+    {
+      // The ticket scope lets the recovery layer tag its trace instants
+      // with the frame that triggered them.
+      obs::FrameTicketScope ticket_scope(p.qf.ticket);
+      delivered = s.pipeline->process(p.qf.frame, fg);
+    }
+    const fault::ExecutionTier tier_now = s.pipeline->tier();
+    if (tier_now != s.last_tier)
+      log_.warn("stream degraded",
+                {{"stream", p.id},
+                 {"from", fault::to_string(s.last_tier)},
+                 {"to", fault::to_string(tier_now)}});
+    s.last_tier = tier_now;
 
     if (!was_gpu) {
       // CPU tier: private clock, no shared-engine reservations.
@@ -173,13 +239,14 @@ int StreamServer<T>::pump_locked() {
         PendingDownload d;
         d.ready_seconds = done;
         d.arrivals.push_back(arrival);
+        d.tickets.push_back(p.qf.ticket);
         if (config_.collect_masks) d.masks.push_back(std::move(fg));
         complete_masks(s, p.id, std::move(d), done);
       }
       continue;
     }
 
-    s.in_model.push_back(arrival);
+    s.in_model.push_back(InFlightFrame{arrival, p.qf.ticket});
     if (!delivered) continue;  // tiled mid-group: mask owed later
 
     // Group boundary (group of one for the direct variants). Prefer the full
@@ -202,8 +269,10 @@ void StreamServer<T>::finish_group(Stream& s, int id,
   PendingDownload d;
   // Masks bias newest (a salvage delivers only the latest), so attach the
   // newest `count` arrivals, oldest first.
-  for (std::size_t i = s.in_model.size() - count; i < s.in_model.size(); ++i)
-    d.arrivals.push_back(s.in_model[i]);
+  for (std::size_t i = s.in_model.size() - count; i < s.in_model.size(); ++i) {
+    d.arrivals.push_back(s.in_model[i].arrival_seconds);
+    d.tickets.push_back(s.in_model[i].ticket);
+  }
   masks.resize(count);
   if (config_.collect_masks) d.masks = std::move(masks);
   s.in_model.clear();
@@ -217,6 +286,8 @@ void StreamServer<T>::finish_group(Stream& s, int id,
     s.kernel_seconds += w.end_seconds - w.start_seconds;
     s.uploads_outstanding = 0;
     emit_window(id, "kernel", w.start_seconds, w.end_seconds);
+    for (const std::uint64_t t : d.tickets)
+      emit_flow('t', t, id, w.start_seconds);
     d.ready_seconds = w.end_seconds;
     s.pending.push_back(std::move(d));
     return;
@@ -262,12 +333,12 @@ void StreamServer<T>::complete_masks(Stream& s, int id, PendingDownload&& d,
     const double latency = std::max(0.0, end_seconds - d.arrivals[i]);
     s.latencies.push_back(latency);
     if (reg != nullptr) reg->record(kLatencyMetric, latency);
+    if (i < d.tickets.size()) emit_flow('f', d.tickets[i], id, end_seconds);
     ++s.masks_delivered;
   }
   if (config_.collect_masks)
     for (FrameU8& m : d.masks) s.collected.push_back(std::move(m));
   s.last_completion = std::max(s.last_completion, end_seconds);
-  (void)id;
 }
 
 template <typename T>
@@ -302,6 +373,7 @@ template <typename T>
 void StreamServer<T>::start() {
   std::lock_guard<std::mutex> lock(mu_);
   MOG_CHECK(!running_, "scheduler thread already running");
+  log_.info("scheduler thread starting");
   stop_requested_ = false;
   running_ = true;
   worker_ = std::thread([this] {
@@ -461,6 +533,279 @@ void StreamServer<T>::emit_window(int id, const char* kind,
   tr->complete(kind, "serve", telemetry::TraceRecorder::kServeTrackBase + id,
                to_us(start_seconds), to_us(end_seconds - start_seconds),
                {{"stream", static_cast<double>(id)}});
+}
+
+template <typename T>
+void StreamServer<T>::emit_flow(char phase, std::uint64_t ticket, int id,
+                                double seconds) {
+  if (ticket == 0) return;
+  telemetry::TraceRecorder* tr = telemetry::tracer();
+  if (tr == nullptr) return;
+  const int tid = telemetry::TraceRecorder::kServeTrackBase + id;
+  if (phase == 's')
+    tr->flow_begin("frame", "serve.flow", ticket, tid, to_us(seconds));
+  else if (phase == 't')
+    tr->flow_step("frame", "serve.flow", ticket, tid, to_us(seconds));
+  else
+    tr->flow_end("frame", "serve.flow", ticket, tid, to_us(seconds));
+}
+
+template <typename T>
+std::string StreamServer<T>::metrics_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_text_locked();
+}
+
+template <typename T>
+std::string StreamServer<T>::metrics_text_locked() const {
+  using obs::MetricFamily;
+  using obs::MetricType;
+  std::vector<MetricFamily> families;
+
+  const auto stream_label = [](std::size_t i) {
+    return obs::LabelSet{{"stream", strprintf("%zu", i)}};
+  };
+
+  // Queue / delivery counters, one sample per stream.
+  struct CounterSpec {
+    const char* name;
+    const char* help;
+    std::uint64_t (*value)(const Stream&);
+  };
+  const CounterSpec specs[] = {
+      {"mog_serve_frames_submitted_total", "Frames offered to submit()",
+       [](const Stream& s) { return s.queue->stats().submitted; }},
+      {"mog_serve_frames_dropped_total",
+       "Frames lost to the queue drop policy",
+       [](const Stream& s) { return s.queue->stats().dropped; }},
+      {"mog_serve_frames_scheduled_total",
+       "Frames popped into the pipeline",
+       [](const Stream& s) { return s.frames_scheduled; }},
+      {"mog_serve_masks_delivered_total", "Masks completed end to end",
+       [](const Stream& s) { return s.masks_delivered; }},
+  };
+  for (const CounterSpec& spec : specs) {
+    MetricFamily f;
+    f.name = spec.name;
+    f.help = spec.help;
+    f.type = MetricType::kCounter;
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+      f.samples.push_back(
+          {stream_label(i), static_cast<double>(spec.value(*streams_[i]))});
+    families.push_back(std::move(f));
+  }
+
+  {
+    MetricFamily f;
+    f.name = "mog_serve_queue_depth";
+    f.help = "Frames currently waiting in the ingress queue";
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+      f.samples.push_back(
+          {stream_label(i), static_cast<double>(streams_[i]->queue->size())});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_serve_queue_high_water";
+    f.help = "Maximum ingress queue depth observed";
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+      f.samples.push_back({stream_label(i),
+                           static_cast<double>(
+                               streams_[i]->queue->stats().high_water)});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_serve_stream_tier";
+    f.help = "Degradation-ladder tier (0 tiled GPU, 1 direct GPU, 2 CPU)";
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const Stream& s = *streams_[i];
+      const fault::ExecutionTier tier =
+          s.pipeline != nullptr ? s.pipeline->tier() : s.last_tier;
+      f.samples.push_back(
+          {stream_label(i), static_cast<double>(static_cast<int>(tier))});
+    }
+    families.push_back(std::move(f));
+  }
+
+  // End-to-end latency histograms (arrival -> mask download complete).
+  {
+    MetricFamily f;
+    f.name = "mog_serve_latency_seconds";
+    f.help = "End-to-end modeled latency per delivered mask";
+    f.type = MetricType::kHistogram;
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+      f.histograms.push_back(
+          obs::make_histogram(streams_[i]->latencies, stream_label(i)));
+    families.push_back(std::move(f));
+  }
+
+  // Recovery actions, labelled by action kind.
+  {
+    MetricFamily f;
+    f.name = "mog_serve_recovery_actions_total";
+    f.help = "Recovery actions taken by each stream's resilient pipeline";
+    f.type = MetricType::kCounter;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const Stream& s = *streams_[i];
+      if (s.pipeline == nullptr) continue;
+      const fault::RecoveryStats& r = s.pipeline->recovery_stats();
+      const std::pair<const char*, std::uint64_t> actions[] = {
+          {"retry", r.retries},          {"mask_reused", r.masks_reused},
+          {"frame_lost", r.frames_lost}, {"checkpoint", r.checkpoints},
+          {"rollback", r.rollbacks},     {"degradation", r.degradations},
+      };
+      for (const auto& [action, count] : actions) {
+        obs::LabelSet labels = stream_label(i);
+        labels.emplace_back("action", action);
+        f.samples.push_back({std::move(labels), static_cast<double>(count)});
+      }
+    }
+    families.push_back(std::move(f));
+  }
+
+  // Shared-engine utilization: which engine is the multi-stream bottleneck.
+  const double span = timeline_.makespan_seconds();
+  {
+    MetricFamily f;
+    f.name = "mog_timeline_engine_busy_seconds";
+    f.help = "Cumulative busy time of the shared device engines";
+    f.samples.push_back(
+        {{{"engine", "dma"}}, timeline_.dma_busy_seconds()});
+    f.samples.push_back(
+        {{{"engine", "kernel"}}, timeline_.kernel_busy_seconds()});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_timeline_engine_utilization";
+    f.help = "Engine busy time over the modeled makespan (0 when idle)";
+    f.samples.push_back(
+        {{{"engine", "dma"}},
+         span > 0 ? timeline_.dma_busy_seconds() / span : 0.0});
+    f.samples.push_back(
+        {{{"engine", "kernel"}},
+         span > 0 ? timeline_.kernel_busy_seconds() / span : 0.0});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_timeline_makespan_seconds";
+    f.help = "Modeled completion time across engines and CPU-tier clocks";
+    double makespan = span;
+    for (const auto& s : streams_) {
+      makespan = std::max(makespan, s->cpu_clock);
+      makespan = std::max(makespan, s->last_completion);
+    }
+    f.samples.push_back({{}, makespan});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_serve_open_streams";
+    f.help = "Streams currently admitted";
+    int open_count = 0;
+    for (const auto& s : streams_) open_count += s->open ? 1 : 0;
+    f.samples.push_back({{}, static_cast<double>(open_count)});
+    families.push_back(std::move(f));
+  }
+  {
+    MetricFamily f;
+    f.name = "mog_serve_device_memory_bytes";
+    f.help = "Aggregate device memory held by admitted streams";
+    f.samples.push_back({{}, static_cast<double>(bytes_in_use_)});
+    families.push_back(std::move(f));
+  }
+
+  // Global telemetry sinks, when installed: kernel-counter rollups and
+  // trace-recorder drop health. The server records its own custom series
+  // (serve.latency_seconds, serve.queue_depth) into the registry, and
+  // append_counter_registry would render those under the same mog_serve_*
+  // names as the richer per-stream families above — drop the duplicates, the
+  // labelled families win.
+  std::vector<MetricFamily> global;
+  if (const telemetry::CounterRegistry* reg = telemetry::counters())
+    obs::append_counter_registry(*reg, global);
+  if (const telemetry::TraceRecorder* tr = telemetry::tracer())
+    obs::append_trace_health(*tr, global);
+  for (MetricFamily& f : global) {
+    bool duplicate = false;
+    for (const MetricFamily& own : families) duplicate |= own.name == f.name;
+    if (!duplicate) families.push_back(std::move(f));
+  }
+
+  return obs::render(families);
+}
+
+template <typename T>
+bool StreamServer<T>::healthz(std::string& detail) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return healthz_locked(detail);
+}
+
+template <typename T>
+bool StreamServer<T>::healthz_locked(std::string& detail) const {
+  bool ok = true;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const Stream& s = *streams_[i];
+    if (!s.open) continue;
+    const fault::ExecutionTier tier = s.pipeline->tier();
+    const bool on_gpu = tier != fault::ExecutionTier::kCpuSerial;
+    // Subsampled watchdog scan — same check the rollback machinery uses.
+    const fault::ModelHealth health = fault::validate_model(
+        s.pipeline->model(), config_.resilience.health_check_stride);
+    const bool model_ok =
+        health.healthy(config_.resilience.weight_drift_tolerance);
+    ok = ok && on_gpu && model_ok;
+    detail += strprintf("stream %zu: tier=%s model=%s\n", i,
+                        fault::to_string(tier),
+                        model_ok ? "healthy" : health.summary().c_str());
+  }
+  return ok;
+}
+
+template <typename T>
+std::string StreamServer<T>::statusz() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return statusz_locked();
+}
+
+template <typename T>
+std::string StreamServer<T>::statusz_locked() const {
+  std::string out = "== serve ==\n";
+  double span = timeline_.makespan_seconds();
+  for (const auto& s : streams_) {
+    span = std::max(span, s->cpu_clock);
+    span = std::max(span, s->last_completion);
+  }
+  out += strprintf(
+      "streams: %zu, makespan %.3f s, device memory %s\n"
+      "engines: dma %.3f s busy, kernel %.3f s busy\n",
+      streams_.size(), span,
+      human_bytes(static_cast<double>(bytes_in_use_)).c_str(),
+      timeline_.dma_busy_seconds(), timeline_.kernel_busy_seconds());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const Stream& s = *streams_[i];
+    const QueueStats q = s.queue->stats();
+    const telemetry::Rollup lat = telemetry::make_rollup(s.latencies);
+    out += strprintf(
+        "stream %zu [%s]: %llu in / %llu masks / %llu dropped, "
+        "latency p50 %.3f ms p99 %.3f ms\n",
+        i,
+        fault::to_string(s.pipeline != nullptr ? s.pipeline->tier()
+                                               : s.last_tier),
+        static_cast<unsigned long long>(q.submitted),
+        static_cast<unsigned long long>(s.masks_delivered),
+        static_cast<unsigned long long>(q.dropped), lat.p50 * 1e3,
+        lat.p99 * 1e3);
+    if (s.pipeline != nullptr)
+      out += "  " + s.pipeline->recovery_stats().summary() + "\n";
+  }
+  if (const telemetry::CounterRegistry* reg = telemetry::counters()) {
+    out += "== kernel counters ==\n";
+    out += reg->summary() + "\n";
+  }
+  return out;
 }
 
 template class StreamServer<float>;

@@ -51,6 +51,8 @@
 
 #include "mog/fault/resilient_pipeline.hpp"
 #include "mog/gpusim/stream_sim.hpp"
+#include "mog/obs/http_server.hpp"
+#include "mog/obs/log.hpp"
 #include "mog/serve/frame_queue.hpp"
 #include "mog/telemetry/counters.hpp"
 
@@ -78,6 +80,13 @@ struct ServeConfig {
   /// Keep delivered masks in memory for take_masks(); disable for soak
   /// runs / benches that only need counters.
   bool collect_masks = true;
+
+  /// Observability HTTP endpoint (/metrics, /healthz, /statusz), served from
+  /// a thread the server owns: -1 disables it (default), 0 binds an
+  /// ephemeral loopback port (tests read it back via obs_port()), >0 binds
+  /// that port. The listener runs for the server's whole lifetime, not just
+  /// while the pump thread does — a scrape between pumps is the normal case.
+  int obs_port = -1;
 
   void validate() const;
 };
@@ -164,11 +173,39 @@ class StreamServer {
   /// Human-readable per-stream digest (examples, logs).
   std::string summary() const;
 
+  // --- observability plane (the /metrics, /healthz, /statusz bodies; also
+  // callable directly so tests and embedders need no socket) ---------------
+
+  /// Prometheus text exposition: per-stream queue/drop/delivery counters and
+  /// latency histograms, recovery-action counters, shared-engine
+  /// utilization, plus the global CounterRegistry and trace health when
+  /// telemetry sinks are installed.
+  std::string metrics_text() const;
+
+  /// Liveness verdict: true when every open stream is on a GPU tier and its
+  /// model passes fault::validate_model(). `detail` gets one line per open
+  /// stream either way (the /healthz body).
+  bool healthz(std::string& detail) const;
+
+  /// Human-readable status page (summary + recovery + engine utilization).
+  std::string statusz() const;
+
+  /// Bound observability port; -1 when ServeConfig::obs_port disabled it.
+  int obs_port() const { return obs_http_.port(); }
+
  private:
   struct PendingDownload {
     double ready_seconds = 0;           ///< producing kernel's end
     std::vector<double> arrivals;       ///< arrival stamp per owed mask
+    std::vector<std::uint64_t> tickets; ///< obs ticket per owed mask
     std::vector<FrameU8> masks;         ///< functional masks (may be empty)
+  };
+
+  /// A frame absorbed by the model whose mask is still owed (tiled
+  /// mid-group), keyed by its arrival stamp and obs ticket.
+  struct InFlightFrame {
+    double arrival_seconds = 0;
+    std::uint64_t ticket = 0;
   };
 
   struct Stream {
@@ -181,7 +218,7 @@ class StreamServer {
 
     std::uint64_t uploads_outstanding = 0;  ///< scheduled, kernel not yet
     double last_upload_end = 0;
-    std::deque<double> in_model;  ///< arrivals absorbed, masks pending
+    std::deque<InFlightFrame> in_model;  ///< absorbed, masks pending
     std::vector<PendingDownload> pending;
 
     double cpu_clock = 0;  ///< private completion clock after CPU degrade
@@ -204,6 +241,11 @@ class StreamServer {
   int flush_locked(int id);
   void emit_window(int id, const char* kind, double start_seconds,
                    double end_seconds);
+  void emit_flow(char phase, std::uint64_t ticket, int id, double seconds);
+  void start_obs_server();
+  std::string metrics_text_locked() const;
+  bool healthz_locked(std::string& detail) const;
+  std::string statusz_locked() const;
 
   ServeConfig config_;
   mutable std::mutex mu_;
@@ -211,6 +253,8 @@ class StreamServer {
   gpusim::SharedTimeline timeline_;
   int cursor_ = 0;
   std::size_t bytes_in_use_ = 0;
+  obs::ScopedLogger log_{"serve"};
+  obs::HttpServer obs_http_;
 
   std::condition_variable cv_;
   std::thread worker_;

@@ -8,8 +8,11 @@
 namespace mog::telemetry {
 
 double percentile(std::vector<double> samples, double p) {
-  MOG_CHECK(!samples.empty(), "percentile of an empty sample set");
   MOG_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  // An empty series is an ordinary state for a live /metrics scrape (a
+  // stream that has not completed a frame yet), not a caller bug: report 0
+  // rather than aborting the exposition.
+  if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);

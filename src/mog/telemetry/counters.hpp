@@ -31,7 +31,8 @@ struct Rollup {
 
 /// Percentile with linear interpolation between order statistics
 /// (`p` in [0, 100]; matches numpy's default "linear" method). The input
-/// need not be sorted. Throws on an empty sample set.
+/// need not be sorted. An empty sample set reports 0.0 — live scrapes hit
+/// series that have no samples yet, and that must not abort the exposition.
 double percentile(std::vector<double> samples, double p);
 
 /// Rollup over a sample vector (count/total/mean/min/max/p50/p90/p99).

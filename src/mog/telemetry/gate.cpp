@@ -99,8 +99,20 @@ GateResult gate_reports(const Json& baseline, const Json& fresh,
 
     for (const auto& [metric, bval] : bmetrics->as_object()) {
       if (!bval.is_number()) continue;
+
+      GateComparison row;
+      row.case_name = case_name;
+      row.metric = metric;
+      row.baseline = bval.as_number();
+      row.tolerance = tolerance_for(baseline, metric, options);
+
       if (!options.include_wall && is_wall_metric(metric)) {
         ++result.metrics_skipped;
+        row.verdict = "skipped_wall";
+        const Json* fval =
+            fmetrics != nullptr ? fmetrics->find(metric) : nullptr;
+        if (fval != nullptr && fval->is_number()) row.fresh = fval->as_number();
+        result.comparisons.push_back(std::move(row));
         continue;
       }
       const Json* fval =
@@ -111,19 +123,22 @@ GateResult gate_reports(const Json& baseline, const Json& fresh,
         f.case_name = case_name;
         f.metric = metric;
         result.failures.push_back(f);
+        row.verdict = "missing";
+        result.comparisons.push_back(std::move(row));
         continue;
       }
       ++result.metrics_compared;
 
       const double b = bval.as_number();
       const double v = fval->as_number();
+      row.fresh = v;
       const double abs_delta = std::fabs(v - b);
-      if (abs_delta <= options.abs_tol) continue;
-      const double tol = tolerance_for(baseline, metric, options);
+      const double tol = row.tolerance;
       const double rel =
           std::fabs(b) > 0 ? abs_delta / std::fabs(b)
                            : std::numeric_limits<double>::infinity();
-      if (rel > tol) {
+      if (abs_delta > options.abs_tol) row.rel_delta = rel;
+      if (abs_delta > options.abs_tol && rel > tol) {
         GateFinding f;
         f.kind = GateFinding::Kind::kRegression;
         f.case_name = case_name;
@@ -133,7 +148,9 @@ GateResult gate_reports(const Json& baseline, const Json& fresh,
         f.rel_delta = rel;
         f.tolerance = tol;
         result.failures.push_back(f);
+        row.verdict = "fail";
       }
+      result.comparisons.push_back(std::move(row));
     }
   }
   return result;
@@ -148,6 +165,37 @@ std::string format_gate_result(const std::string& label,
   for (const GateFinding& f : result.failures)
     out += "\n  ✗ " + f.describe();
   return out;
+}
+
+Json gate_result_to_json(const std::string& label, const GateResult& result) {
+  Json root = Json::object();
+  root.set("label", label);
+  root.set("ok", result.ok());
+  root.set("cases_compared", result.cases_compared);
+  root.set("metrics_compared", result.metrics_compared);
+  root.set("metrics_skipped", result.metrics_skipped);
+
+  Json rows = Json::array();
+  for (const GateComparison& c : result.comparisons) {
+    Json row = Json::object();
+    row.set("case", c.case_name);
+    row.set("metric", c.metric);
+    row.set("baseline", c.baseline);
+    row.set("fresh", c.fresh);
+    // rel_delta is infinite when the baseline is 0 and the fresh value is
+    // not; JSON has no Inf, so that degenerate band renders as null.
+    row.set("rel_delta",
+            std::isfinite(c.rel_delta) ? Json{c.rel_delta} : Json{nullptr});
+    row.set("tolerance", c.tolerance);
+    row.set("verdict", c.verdict);
+    rows.push_back(std::move(row));
+  }
+  root.set("comparisons", std::move(rows));
+
+  Json failures = Json::array();
+  for (const GateFinding& f : result.failures) failures.push_back(f.describe());
+  root.set("failures", std::move(failures));
+  return root;
 }
 
 }  // namespace mog::telemetry

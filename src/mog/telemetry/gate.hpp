@@ -48,11 +48,25 @@ struct GateFinding {
   std::string describe() const;
 };
 
+/// One baseline-vs-fresh metric comparison, recorded pass or fail — the
+/// machine-readable row behind bench_gate --json.
+struct GateComparison {
+  std::string case_name;
+  std::string metric;
+  double baseline = 0;
+  double fresh = 0;
+  double rel_delta = 0;
+  double tolerance = 0;
+  const char* verdict = "pass";  ///< "pass", "fail", "skipped_wall", "missing"
+};
+
 struct GateResult {
   int cases_compared = 0;
   int metrics_compared = 0;
   int metrics_skipped = 0;  ///< wall_* metrics not gated
   std::vector<GateFinding> failures;
+  /// Every metric row visited, verdicts included — not just the failures.
+  std::vector<GateComparison> comparisons;
 
   bool ok() const { return failures.empty(); }
 };
@@ -64,5 +78,9 @@ GateResult gate_reports(const Json& baseline, const Json& fresh,
 /// Human-readable verdict table for one comparison.
 std::string format_gate_result(const std::string& label,
                                const GateResult& result);
+
+/// Machine-readable diff ({label, ok, counts, comparisons[], failures[]})
+/// for CI artifacts.
+Json gate_result_to_json(const std::string& label, const GateResult& result);
 
 }  // namespace mog::telemetry

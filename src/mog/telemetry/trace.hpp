@@ -27,10 +27,12 @@ namespace mog::telemetry {
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char phase = 'X';       ///< 'X' complete, 'i' instant, 'C' counter
+  char phase = 'X';       ///< 'X' complete, 'i' instant, 'C' counter,
+                          ///< 's'/'t'/'f' flow begin/step/end
   std::int64_t ts_us = 0;
   std::int64_t dur_us = 0;  ///< complete events only
   int tid = 0;
+  std::uint64_t flow_id = 0;  ///< flow events only (frame ticket)
   std::vector<std::pair<std::string, double>> args;
 };
 
@@ -95,19 +97,38 @@ class TraceRecorder {
   void complete(std::string name, std::string cat, int tid, std::int64_t ts_us,
                 std::int64_t dur_us,
                 std::vector<std::pair<std::string, double>> args = {}) {
-    push({std::move(name), std::move(cat), 'X', ts_us, dur_us, tid,
+    push({std::move(name), std::move(cat), 'X', ts_us, dur_us, tid, 0,
           std::move(args)});
   }
 
   void instant(std::string name, std::string cat = "event",
                std::vector<std::pair<std::string, double>> args = {}) {
-    push({std::move(name), std::move(cat), 'i', now_us(), 0, kWallTrack,
+    push({std::move(name), std::move(cat), 'i', now_us(), 0, kWallTrack, 0,
           std::move(args)});
   }
 
   void counter(std::string name, double value) {
-    push({std::move(name), "counter", 'C', now_us(), 0, kWallTrack,
+    push({std::move(name), "counter", 'C', now_us(), 0, kWallTrack, 0,
           {{"value", value}}});
+  }
+
+  /// Chrome-trace flow events: a begin ('s') / step ('t') / end ('f') chain
+  /// sharing one id renders as connected arrows across tracks. The serving
+  /// layer keys these on the frame ticket so a single frame's journey —
+  /// queue admission, upload, kernel, download, recovery — reads as one
+  /// arrow chain through the per-stream tracks. Timestamps are explicit
+  /// because the modeled timeline does not run on the wall clock.
+  void flow_begin(std::string name, std::string cat, std::uint64_t id, int tid,
+                  std::int64_t ts_us) {
+    push({std::move(name), std::move(cat), 's', ts_us, 0, tid, id, {}});
+  }
+  void flow_step(std::string name, std::string cat, std::uint64_t id, int tid,
+                 std::int64_t ts_us) {
+    push({std::move(name), std::move(cat), 't', ts_us, 0, tid, id, {}});
+  }
+  void flow_end(std::string name, std::string cat, std::uint64_t id, int tid,
+                std::int64_t ts_us) {
+    push({std::move(name), std::move(cat), 'f', ts_us, 0, tid, id, {}});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

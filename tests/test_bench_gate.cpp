@@ -127,6 +127,72 @@ TEST(BenchGate, SchemaVersionMismatchFails) {
   EXPECT_EQ(r.failures[0].kind, GateFinding::Kind::kSchemaMismatch);
 }
 
+TEST(BenchGate, ComparisonRowsRecordEveryBaselineMetric) {
+  BenchReporter base{"unit"};
+  base.add_case("A")
+      .metric("speedup", 100.0)
+      .metric("wall_ms", 5.0)
+      .metric("gone", 1.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("speedup", 110.0).metric("wall_ms", 9.0);
+
+  const GateResult r = gate_reports(base.to_json(), fresh.to_json());
+  ASSERT_EQ(r.comparisons.size(), 3u);
+
+  const GateComparison& regressed = r.comparisons[0];
+  EXPECT_EQ(regressed.metric, "speedup");
+  EXPECT_EQ(regressed.verdict, "fail");
+  EXPECT_DOUBLE_EQ(regressed.baseline, 100.0);
+  EXPECT_DOUBLE_EQ(regressed.fresh, 110.0);
+  EXPECT_NEAR(regressed.rel_delta, 0.10, 1e-12);
+
+  const GateComparison& wall = r.comparisons[1];
+  EXPECT_EQ(wall.metric, "wall_ms");
+  EXPECT_EQ(wall.verdict, "skipped_wall");
+  EXPECT_DOUBLE_EQ(wall.fresh, 9.0);  // captured even though not gated
+
+  const GateComparison& missing = r.comparisons[2];
+  EXPECT_EQ(missing.metric, "gone");
+  EXPECT_EQ(missing.verdict, "missing");
+}
+
+TEST(BenchGate, PassingComparisonRowKeepsPassVerdict) {
+  const GateResult r = gate_reports(report(100.0), report(101.0));
+  ASSERT_EQ(r.comparisons.size(), 1u);
+  EXPECT_EQ(r.comparisons[0].verdict, "pass");
+  EXPECT_NEAR(r.comparisons[0].rel_delta, 0.01, 1e-12);
+}
+
+TEST(BenchGate, ResultToJsonCarriesTheDiff) {
+  const GateResult r = gate_reports(report(100.0), report(110.0));
+  const Json doc = gate_result_to_json("BENCH_unit.json", r);
+
+  EXPECT_EQ(doc.find("label")->as_string(), "BENCH_unit.json");
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  const Json::Array& rows = doc.find("comparisons")->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].find("verdict")->as_string(), "fail");
+  EXPECT_DOUBLE_EQ(rows[0].find("baseline")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].find("fresh")->as_number(), 110.0);
+  EXPECT_NEAR(rows[0].find("rel_delta")->as_number(), 0.10, 1e-12);
+  ASSERT_EQ(doc.find("failures")->as_array().size(), 1u);
+
+  // The document must survive dump -> parse (what the CI artifact is).
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.find("comparisons")->as_array().size(), 1u);
+}
+
+TEST(BenchGate, ResultToJsonRendersInfiniteRelDeltaAsNull) {
+  // Baseline 0 with a nonzero fresh value has no relative band; the JSON
+  // artifact must still parse (no bare Inf tokens).
+  const GateResult r = gate_reports(report(0.0), report(5.0));
+  const Json doc = gate_result_to_json("zero", r);
+  const Json::Array& rows = doc.find("comparisons")->as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].find("rel_delta")->is_null());
+  EXPECT_NO_THROW(Json::parse(doc.dump()));
+}
+
 TEST(BenchGate, RoundTripThroughTextStaysEqual) {
   // The gate sees files, not in-memory objects: dump -> parse must not
   // perturb any metric (round-trip precision of the number formatter).

@@ -1,0 +1,528 @@
+// Tests for the live observability plane: structured logging (fan-out,
+// thresholds, deterministic rate limiting), Prometheus text exposition
+// (rendering + grammar validation), the embedded HTTP server over a real
+// socket, frame-ticket trace propagation, trace-truncation surfacing, and an
+// end-to-end /metrics + /healthz scrape of a running StreamServer.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mog/fault/fault_injector.hpp"
+#include "mog/obs/frame_ticket.hpp"
+#include "mog/obs/http_server.hpp"
+#include "mog/obs/log.hpp"
+#include "mog/obs/prometheus.hpp"
+#include "mog/serve/stream_server.hpp"
+#include "mog/telemetry/telemetry.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog {
+namespace {
+
+using obs::HistogramSeries;
+using obs::HttpRequest;
+using obs::HttpResponse;
+using obs::HttpServer;
+using obs::LogLevel;
+using obs::Logger;
+using obs::LogRecord;
+using obs::MetricFamily;
+using obs::MetricSample;
+using obs::MetricType;
+using obs::RateLimitPolicy;
+using obs::RingBufferSink;
+using obs::ScopedLogger;
+
+// --- structured logging ------------------------------------------------------
+
+TEST(Log, FormatJsonlIsOneParsableObjectPerRecord) {
+  LogRecord rec;
+  rec.level = LogLevel::kWarn;
+  rec.component = "serve";
+  rec.message = "queue \"full\"";  // quotes must be escaped
+  rec.fields = {{"stream", telemetry::Json{3}},
+                {"dropped", telemetry::Json{true}}};
+  rec.ts_us = 1234;
+  rec.suppressed = 2;
+
+  const std::string line = format_jsonl(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const telemetry::Json doc = telemetry::Json::parse(line);
+  EXPECT_EQ(doc.find("level")->as_string(), "warn");
+  EXPECT_EQ(doc.find("component")->as_string(), "serve");
+  EXPECT_EQ(doc.find("msg")->as_string(), "queue \"full\"");
+  EXPECT_DOUBLE_EQ(doc.find("stream")->as_number(), 3.0);
+  EXPECT_TRUE(doc.find("dropped")->as_bool());
+  EXPECT_DOUBLE_EQ(doc.find("ts_us")->as_number(), 1234.0);
+  EXPECT_DOUBLE_EQ(doc.find("suppressed")->as_number(), 2.0);
+}
+
+TEST(Log, ThresholdAndFanOut) {
+  Logger logger{LogLevel::kInfo};
+  RingBufferSink a, b;
+  logger.add_sink(&a);
+  logger.add_sink(&b);
+
+  logger.log(LogLevel::kDebug, "t", "below threshold");
+  logger.log(LogLevel::kInfo, "t", "hello");
+  logger.log(LogLevel::kError, "t", "boom");
+
+  for (const RingBufferSink* sink : {&a, &b}) {
+    const std::vector<LogRecord> got = sink->snapshot();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].message, "hello");
+    EXPECT_EQ(got[1].message, "boom");
+  }
+
+  logger.set_threshold(LogLevel::kDebug);
+  logger.log(LogLevel::kDebug, "t", "now visible");
+  EXPECT_EQ(a.snapshot().back().message, "now visible");
+
+  logger.remove_sink(&b);
+  logger.log(LogLevel::kInfo, "t", "only a");
+  EXPECT_EQ(a.total_written(), 4u);
+  EXPECT_EQ(b.total_written(), 3u);
+}
+
+TEST(Log, SinklessLoggingIsANoOp) {
+  Logger logger;
+  EXPECT_FALSE(logger.has_sinks());
+  logger.log(LogLevel::kError, "t", "dropped on the floor");
+  EXPECT_EQ(logger.records_emitted(), 0u);
+}
+
+TEST(Log, RateLimitIsDeterministicAndCountBased) {
+  Logger logger{LogLevel::kDebug};
+  RingBufferSink sink;
+  logger.add_sink(&sink);
+  logger.set_rate_limit({/*max_burst=*/2, /*every=*/3});
+
+  for (int i = 0; i < 8; ++i) logger.log(LogLevel::kInfo, "t", "repeat");
+
+  // Records 1, 2 pass as the burst; afterwards every 3rd repeat passes:
+  // 3 and 4 suppressed, 5 passes (suppressed=2), 6 and 7 suppressed,
+  // 8 passes (suppressed=2).
+  const std::vector<LogRecord> got = sink.snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].suppressed, 0u);
+  EXPECT_EQ(got[1].suppressed, 0u);
+  EXPECT_EQ(got[2].suppressed, 2u);
+  EXPECT_EQ(got[3].suppressed, 2u);
+  EXPECT_EQ(logger.records_suppressed(), 4u);
+
+  // A different (component, message) key is not affected...
+  logger.log(LogLevel::kInfo, "other", "repeat");
+  EXPECT_EQ(sink.snapshot().back().component, "other");
+
+  // ...and errors are never suppressed.
+  for (int i = 0; i < 8; ++i) logger.log(LogLevel::kError, "t", "fatal");
+  std::size_t errors = 0;
+  for (const LogRecord& r : sink.snapshot()) errors += r.message == "fatal";
+  EXPECT_EQ(errors, 8u);
+}
+
+TEST(Log, RingBufferKeepsLastN) {
+  Logger logger{LogLevel::kDebug};
+  RingBufferSink sink{3};
+  logger.add_sink(&sink);
+  logger.set_rate_limit({/*max_burst=*/100, /*every=*/1});
+  for (int i = 0; i < 5; ++i)
+    logger.log(LogLevel::kInfo, "t", "m" + std::to_string(i));
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.total_written(), 5u);
+  EXPECT_EQ(sink.snapshot().front().message, "m2");
+  EXPECT_EQ(sink.snapshot().back().message, "m4");
+}
+
+TEST(Log, ScopedLoggerStampsComponent) {
+  Logger logger{LogLevel::kDebug};
+  RingBufferSink sink;
+  logger.add_sink(&sink);
+  const ScopedLogger slog{"fault", &logger};
+  slog.warn("degraded", {{"from", telemetry::Json{"tiled"}}});
+  const std::vector<LogRecord> got = sink.snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].component, "fault");
+  EXPECT_EQ(got[0].level, LogLevel::kWarn);
+  ASSERT_EQ(got[0].fields.size(), 1u);
+  EXPECT_EQ(got[0].fields[0].first, "from");
+}
+
+// --- Prometheus exposition ---------------------------------------------------
+
+TEST(Prometheus, RenderedPagePassesItsOwnValidator) {
+  std::vector<MetricFamily> families;
+  MetricFamily gauge;
+  gauge.name = "mog_serve_queue_depth";
+  gauge.help = "frames waiting per stream; quotes \" and \\ escape";
+  gauge.type = MetricType::kGauge;
+  gauge.samples = {{{{"stream", "0"}}, 3.0},
+                   {{{"stream", "1"}, {"tier", "tiled\"gpu"}}, 0.0}};
+  families.push_back(gauge);
+
+  MetricFamily counter;
+  counter.name = "mog_serve_frames_dropped_total";
+  counter.type = MetricType::kCounter;
+  counter.samples = {{{}, 42.0}};
+  families.push_back(counter);
+
+  MetricFamily hist;
+  hist.name = "mog_serve_latency_seconds";
+  hist.type = MetricType::kHistogram;
+  hist.histograms = {
+      obs::make_histogram({0.001, 0.002, 0.5}, {{"stream", "0"}})};
+  families.push_back(hist);
+
+  const std::string page = obs::render(families);
+  EXPECT_EQ(obs::validate_exposition(page), "") << page;
+  EXPECT_NE(page.find("# TYPE mog_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE mog_serve_frames_dropped_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("mog_serve_latency_seconds_bucket{stream=\"0\",le="),
+            std::string::npos);
+  EXPECT_NE(page.find("mog_serve_latency_seconds_count{stream=\"0\"} 3"),
+            std::string::npos);
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedPages) {
+  EXPECT_NE(obs::validate_exposition("bad-name 1\n"), "");
+  EXPECT_NE(obs::validate_exposition("# TYPE x gauge\ny 1\n"), "");
+  EXPECT_NE(obs::validate_exposition("x{label=\"unterminated} 1\n"), "");
+}
+
+TEST(Prometheus, SanitizeMetricName) {
+  EXPECT_EQ(obs::sanitize_metric_name("serve.latency_seconds"),
+            "serve_latency_seconds");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:x"), "ok_name:x");
+}
+
+TEST(Prometheus, MakeHistogramBucketsAreCumulative) {
+  const HistogramSeries h =
+      obs::make_histogram({0.5, 1.5, 2.5, 100.0}, {}, {1.0, 2.0, 3.0});
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + the implicit +Inf bucket
+  EXPECT_EQ(h.counts[0], 1u);      // <= 1.0
+  EXPECT_EQ(h.counts[1], 2u);      // <= 2.0
+  EXPECT_EQ(h.counts[2], 3u);      // <= 3.0
+  EXPECT_EQ(h.counts[3], 4u);      // +Inf
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 104.5);
+}
+
+TEST(Prometheus, CounterRegistryAndTraceHealthFamilies) {
+  telemetry::CounterRegistry reg;
+  gpusim::KernelStats stats;
+  stats.num_warps = 32;
+  reg.on_kernel_launch(stats);
+  reg.record("serve.latency_seconds", 0.004);
+
+  telemetry::TraceRecorder trace{2};
+  trace.instant("a");
+  trace.instant("b");
+  trace.instant("dropped");  // over capacity
+
+  std::vector<MetricFamily> families;
+  obs::append_counter_registry(reg, families);
+  obs::append_trace_health(trace, families);
+  const std::string page = obs::render(families);
+  EXPECT_EQ(obs::validate_exposition(page), "") << page;
+  EXPECT_NE(page.find("mog_kernel_launches_total 1"), std::string::npos);
+  EXPECT_NE(page.find("mog_serve_latency_seconds"), std::string::npos);
+  EXPECT_NE(page.find("mog_trace_dropped_total 1"), std::string::npos);
+}
+
+// --- embedded HTTP server ----------------------------------------------------
+
+/// Blocking one-shot HTTP client against 127.0.0.1:`port` (tests only).
+std::string http_get(int port, const std::string& target,
+                     const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(Http, ServesHandlersOverARealSocket) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "pong " + req.method;
+    return resp;
+  });
+  server.start(0);  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string ok = http_get(server.port(), "/ping");
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(body_of(ok), "pong GET");
+
+  // Query strings are stripped before dispatch.
+  EXPECT_EQ(body_of(http_get(server.port(), "/ping?x=1")), "pong GET");
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  const std::string post = http_get(server.port(), "/ping", "POST");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Http, ConcurrentScrapesAllSucceed) {
+  HttpServer server;
+  server.handle("/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = obs::kPrometheusContentType;
+    resp.body = "mog_up 1\n";
+    return resp;
+  });
+  server.start(0);
+  std::vector<std::thread> clients;
+  std::vector<std::string> bodies(4);
+  for (std::size_t i = 0; i < bodies.size(); ++i)
+    clients.emplace_back([&, i] {
+      bodies[i] = body_of(http_get(server.port(), "/metrics"));
+    });
+  for (std::thread& t : clients) t.join();
+  for (const std::string& body : bodies) EXPECT_EQ(body, "mog_up 1\n");
+  server.stop();
+}
+
+// --- frame tickets and flow propagation --------------------------------------
+
+TEST(FrameTicket, MintedUniqueAndScopedPerThread) {
+  const std::uint64_t a = obs::mint_frame_ticket();
+  const std::uint64_t b = obs::mint_frame_ticket();
+  EXPECT_GT(a, 0u);
+  EXPECT_NE(a, b);
+
+  EXPECT_EQ(obs::current_frame_ticket(), 0u);
+  {
+    obs::FrameTicketScope outer{a};
+    EXPECT_EQ(obs::current_frame_ticket(), a);
+    {
+      obs::FrameTicketScope inner{b};
+      EXPECT_EQ(obs::current_frame_ticket(), b);
+    }
+    EXPECT_EQ(obs::current_frame_ticket(), a);
+
+    // Tickets are thread-local: another thread sees none.
+    std::uint64_t seen = 99;
+    std::thread{[&] { seen = obs::current_frame_ticket(); }}.join();
+    EXPECT_EQ(seen, 0u);
+  }
+  EXPECT_EQ(obs::current_frame_ticket(), 0u);
+}
+
+TEST(ServeFlow, FrameJourneyEmitsConnectedFlowEvents) {
+  telemetry::TraceRecorder trace;
+  telemetry::set_tracer(&trace);
+  {
+    serve::ServeConfig cfg;
+    serve::StreamServer<double> server{cfg};
+    serve::StreamServer<double>::GpuConfig gpu;
+    gpu.width = 48;
+    gpu.height = 36;
+    SceneConfig sc;
+    sc.width = 48;
+    sc.height = 36;
+    const SyntheticScene scene{sc};
+    const int id = server.open_stream(gpu);
+    constexpr int kFrames = 4;
+    for (int t = 0; t < kFrames; ++t)
+      server.submit(id, scene.frame(t), t / 30.0);
+    server.drain();
+  }
+  telemetry::set_tracer(nullptr);
+
+  // Every frame's journey is an s -> t... -> f chain keyed by its ticket.
+  std::vector<std::uint64_t> begins, steps, ends;
+  for (const telemetry::TraceEvent& ev : trace.events()) {
+    if (ev.cat != "serve.flow") continue;
+    EXPECT_EQ(ev.name, "frame");
+    EXPECT_GE(ev.tid, telemetry::TraceRecorder::kServeTrackBase);
+    EXPECT_GT(ev.flow_id, 0u);
+    if (ev.phase == 's') begins.push_back(ev.flow_id);
+    if (ev.phase == 't') steps.push_back(ev.flow_id);
+    if (ev.phase == 'f') ends.push_back(ev.flow_id);
+  }
+  EXPECT_EQ(begins.size(), 4u);
+  EXPECT_EQ(ends.size(), 4u);
+  EXPECT_FALSE(steps.empty());
+  // Each completed chain ends with the ticket it began with.
+  for (const std::uint64_t ticket : ends)
+    EXPECT_NE(std::find(begins.begin(), begins.end(), ticket), begins.end());
+}
+
+TEST(Trace, TruncationIsSurfacedInTheExport) {
+  telemetry::TraceRecorder trace{2};
+  trace.instant("kept1");
+  trace.instant("kept2");
+  trace.instant("lost1");
+  trace.instant("lost2");
+  EXPECT_EQ(trace.dropped(), 2u);
+
+  const telemetry::Json doc = trace.to_json();
+  const telemetry::Json::Array& events =
+      doc.find("traceEvents")->as_array();
+  bool truncated_seen = false, counter_seen = false;
+  for (const telemetry::Json& ev : events) {
+    const telemetry::Json* name = ev.find("name");
+    if (name == nullptr) continue;
+    if (name->as_string() == "trace.truncated") {
+      truncated_seen = true;
+      const telemetry::Json* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->find("dropped_events")->as_number(), 2.0);
+      EXPECT_DOUBLE_EQ(args->find("capacity")->as_number(), 2.0);
+    }
+    if (name->as_string() == "trace.dropped") counter_seen = true;
+  }
+  EXPECT_TRUE(truncated_seen);
+  EXPECT_TRUE(counter_seen);
+
+  // An untruncated trace carries no such marker.
+  telemetry::TraceRecorder roomy;
+  roomy.instant("only");
+  const telemetry::Json clean = roomy.to_json();
+  for (const telemetry::Json& ev : clean.find("traceEvents")->as_array())
+    EXPECT_NE(ev.find("name")->as_string(), "trace.truncated");
+}
+
+// --- end-to-end: scraping a running StreamServer -----------------------------
+
+TEST(ServerObs, MetricsHealthzStatuszOverHttp) {
+  telemetry::CounterRegistry reg;
+  telemetry::set_counters(&reg);
+
+  serve::ServeConfig cfg;
+  cfg.obs_port = 0;  // ephemeral loopback port
+  serve::StreamServer<double> server{cfg};
+  ASSERT_GT(server.obs_port(), 0);
+
+  serve::StreamServer<double>::GpuConfig gpu;
+  gpu.width = 48;
+  gpu.height = 36;
+  SceneConfig sc;
+  sc.width = 48;
+  sc.height = 36;
+  const SyntheticScene scene{sc};
+  const int id = server.open_stream(gpu);
+  for (int t = 0; t < 6; ++t) server.submit(id, scene.frame(t), t / 30.0);
+  server.drain();
+
+  // /metrics: Prometheus-parseable, right content type, live counters.
+  const std::string metrics = http_get(server.obs_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find(obs::kPrometheusContentType), std::string::npos);
+  const std::string page = body_of(metrics);
+  EXPECT_EQ(obs::validate_exposition(page), "") << page;
+  EXPECT_NE(
+      page.find("mog_serve_frames_submitted_total{stream=\"0\"} 6"),
+      std::string::npos);
+  EXPECT_NE(page.find("mog_serve_masks_delivered_total{stream=\"0\"} 6"),
+            std::string::npos);
+  EXPECT_NE(page.find("mog_serve_latency_seconds_bucket"), std::string::npos);
+  EXPECT_NE(page.find("mog_timeline_engine_busy_seconds"), std::string::npos);
+  EXPECT_NE(page.find("mog_kernel_launches_total"), std::string::npos);
+
+  // /healthz: all streams on a GPU tier, model validates -> 200.
+  const std::string health = http_get(server.obs_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(body_of(health).find("stream 0: tier="), std::string::npos);
+
+  // /statusz: human-readable digest.
+  const std::string status = http_get(server.obs_port(), "/statusz");
+  EXPECT_NE(status.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_FALSE(body_of(status).empty());
+
+  telemetry::set_counters(nullptr);
+}
+
+TEST(ServerObs, HealthzFlipsTo503OnForcedDegradation) {
+  serve::ServeConfig cfg;
+  cfg.obs_port = 0;
+  cfg.resilience.retry.max_attempts = 2;
+  cfg.resilience.degrade_after_failures = 1;
+  serve::StreamServer<double> server{cfg};
+
+  auto injector = std::make_shared<fault::FaultInjector>([] {
+    fault::FaultConfig fc;
+    fc.launch_fault_prob = 1.0;  // every launch dies -> ladder to CPU tier
+    return fc;
+  }());
+  serve::StreamServer<double>::GpuConfig gpu;
+  gpu.width = 48;
+  gpu.height = 36;
+  const int id = server.open_stream(gpu, injector);
+
+  EXPECT_NE(http_get(server.obs_port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+
+  SceneConfig sc;
+  sc.width = 48;
+  sc.height = 36;
+  const SyntheticScene scene{sc};
+  for (int t = 0; t < 4; ++t) server.submit(id, scene.frame(t));
+  server.drain();
+  ASSERT_EQ(server.stream_stats(id).tier, fault::ExecutionTier::kCpuSerial);
+
+  const std::string sick = http_get(server.obs_port(), "/healthz");
+  EXPECT_NE(sick.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(body_of(sick).find("cpu-serial"), std::string::npos);
+
+  // The degraded tier is also visible on /metrics as a gauge.
+  const std::string page = body_of(http_get(server.obs_port(), "/metrics"));
+  EXPECT_EQ(obs::validate_exposition(page), "") << page;
+  EXPECT_NE(page.find("mog_serve_stream_tier{stream=\"0\"} 2"),
+            std::string::npos);
+}
+
+TEST(ServerObs, ObsPortDisabledByDefault) {
+  serve::ServeConfig cfg;
+  serve::StreamServer<double> server{cfg};
+  EXPECT_EQ(server.obs_port(), -1);
+  // The in-process bodies still work without a socket.
+  std::string detail;
+  EXPECT_TRUE(server.healthz(detail));
+  EXPECT_EQ(obs::validate_exposition(server.metrics_text()), "");
+  EXPECT_FALSE(server.statusz().empty());
+}
+
+}  // namespace
+}  // namespace mog

@@ -178,7 +178,11 @@ TEST(Percentile, MatchesLinearInterpolation) {
 
 TEST(Percentile, SingleSampleAndValidation) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
-  EXPECT_THROW(percentile({}, 50), Error);
+  // An empty series is a normal live-scrape state, not an error: it must
+  // report 0, never abort the exposition.
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
   EXPECT_THROW(percentile({1.0}, -1), Error);
   EXPECT_THROW(percentile({1.0}, 101), Error);
 }
@@ -191,6 +195,28 @@ TEST(Rollup, ComputesSummaryStatistics) {
   EXPECT_DOUBLE_EQ(r.min, 1.0);
   EXPECT_DOUBLE_EQ(r.max, 4.0);
   EXPECT_DOUBLE_EQ(r.p50, 2.5);
+}
+
+TEST(Rollup, EmptyAndSingleSampleEdges) {
+  // count == 0: every statistic well-defined and NaN-free.
+  const Rollup empty = make_rollup({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.total, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p90, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+  // count == 1: every percentile collapses to the sample.
+  const Rollup one = make_rollup({42.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.min, 42.0);
+  EXPECT_DOUBLE_EQ(one.max, 42.0);
+  EXPECT_DOUBLE_EQ(one.p50, 42.0);
+  EXPECT_DOUBLE_EQ(one.p99, 42.0);
 }
 
 // --- CounterRegistry ---------------------------------------------------------
