@@ -1,39 +1,45 @@
-// Multi-camera serving demo: N synthetic cameras share one simulated GPU
-// through serve::StreamServer. Each camera gets a classic test-scene preset
-// (highway / lobby / waving trees, cycled), its own bounded queue, and its
-// own resilient pipeline; the background scheduler interleaves their
-// uploads, kernels, and downloads on the device's single copy engine.
+// Multi-camera fleet demo: N synthetic cameras sharded across D simulated
+// GPUs through cluster::DeviceFleet. Each camera gets a classic test-scene
+// preset (highway / lobby / waving trees, cycled), its own bounded queue, and
+// its own resilient pipeline; the scheduler places streams least-loaded-first
+// and each device's background worker interleaves uploads, kernels, and
+// downloads on that device's copy engine.
 //
-//   $ ./examples/multicam [--streams N] [--frames N] [--depth N]
-//                         [--drop newest|oldest] [--tiled G]
+//   $ ./examples/multicam [--devices N] [--streams N] [--frames N]
+//                         [--depth N] [--drop newest|oldest] [--tiled G]
+//                         [--fail-device IDX] [--fail-at-frame T]
 //                         [--obs-port P] [--hold-seconds S]
 //
 // Cameras submit frames at a 30 fps arrival cadence. With a shallow queue
 // (--depth 2) and many streams you can watch the drop counters engage; with
 // --tiled G each stream batches G frames per kernel launch (§IV-D).
 //
+// --fail-device IDX declares device IDX lost mid-run (at --fail-at-frame T,
+// default half the frame budget): its streams checkpoint their MoG models,
+// fail over to the surviving devices, and keep serving — watch the
+// mog_fleet_migrations_total counters move on /metrics.
+//
 // --obs-port P exposes the live observability plane (GET /metrics, /healthz,
-// /statusz) on 127.0.0.1:P for the server's lifetime (P=0 picks an ephemeral
-// port, printed at startup) and mirrors the server's structured logs to
-// stderr as JSON lines. --hold-seconds S keeps the process (and thus the
-// endpoints) alive S seconds after the run so a scraper can collect the
-// final counters.
+// /statusz) on 127.0.0.1:P for the fleet's lifetime (P=0 picks an ephemeral
+// port, printed at startup) and mirrors structured logs to stderr as JSON
+// lines. --hold-seconds S keeps the process (and thus the endpoints) alive S
+// seconds after the run so a scraper can collect the final counters.
 //
 // Masks, mask counts, and the modeled makespan are deterministic, but the
 // latency percentiles vary run to run: which scheduler round ingests a
 // frame depends on how live submissions interleave with the background
 // worker — exactly as in a real server. For bit-reproducible numbers use
-// the synchronous drain() path (tests/test_serve.cpp, bench_serve).
+// the synchronous drain() path (tests/test_cluster.cpp, bench_serve).
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mog/cluster/device_fleet.hpp"
 #include "mog/common/error.hpp"
 #include "mog/common/strutil.hpp"
 #include "mog/obs/log.hpp"
-#include "mog/serve/stream_server.hpp"
 #include "mog/video/scene.hpp"
 
 namespace {
@@ -41,21 +47,26 @@ namespace {
 [[noreturn]] void usage(const std::string& why) {
   std::fprintf(stderr, "multicam: %s\n", why.c_str());
   std::fprintf(stderr,
-               "usage: multicam [--streams N] [--frames N] [--depth N]\n"
-               "                [--drop newest|oldest] [--tiled G]\n"
-               "                [--obs-port P] [--hold-seconds S]\n");
+               "usage: multicam [--devices N] [--streams N] [--frames N]\n"
+               "                [--depth N] [--drop newest|oldest]\n"
+               "                [--tiled G] [--fail-device IDX]\n"
+               "                [--fail-at-frame T] [--obs-port P]\n"
+               "                [--hold-seconds S]\n");
   std::exit(2);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
+  int devices = 2;
   int streams = 4;
   int frames = 48;
   int depth = 8;
-  int tiled_group = 0;   // 0 = per-frame direct kernels
-  int obs_port = -1;     // -1 = observability endpoints off
-  int hold_seconds = 0;  // keep the endpoints up after the run
+  int tiled_group = 0;     // 0 = per-frame direct kernels
+  int fail_device = -1;    // -1 = no injected device loss
+  int fail_at_frame = -1;  // -1 = half the frame budget
+  int obs_port = -1;       // -1 = observability endpoints off
+  int hold_seconds = 0;    // keep the endpoints up after the run
   mog::serve::DropPolicy drop = mog::serve::DropPolicy::kDropNewest;
 
   for (int i = 1; i < argc; ++i) {
@@ -65,7 +76,9 @@ int main(int argc, char** argv) try {
       return argv[++i];
     };
     try {
-      if (arg == "--streams")
+      if (arg == "--devices")
+        devices = mog::parse_int(need("--devices"), 1, 16, "--devices");
+      else if (arg == "--streams")
         streams = mog::parse_int(need("--streams"), 1, 16, "--streams");
       else if (arg == "--frames")
         frames = mog::parse_int(need("--frames"), 1, 1 << 20, "--frames");
@@ -73,6 +86,12 @@ int main(int argc, char** argv) try {
         depth = mog::parse_int(need("--depth"), 1, 1 << 16, "--depth");
       else if (arg == "--tiled")
         tiled_group = mog::parse_int(need("--tiled"), 1, 64, "--tiled");
+      else if (arg == "--fail-device")
+        fail_device =
+            mog::parse_int(need("--fail-device"), 0, 15, "--fail-device");
+      else if (arg == "--fail-at-frame")
+        fail_at_frame = mog::parse_int(need("--fail-at-frame"), 0, 1 << 20,
+                                       "--fail-at-frame");
       else if (arg == "--obs-port")
         obs_port = mog::parse_int(need("--obs-port"), 0, 65535, "--obs-port");
       else if (arg == "--hold-seconds")
@@ -93,23 +112,29 @@ int main(int argc, char** argv) try {
       usage(e.what());
     }
   }
+  if (fail_device >= devices)
+    usage("--fail-device must name one of the --devices");
+  if (fail_device >= 0 && devices < 2)
+    usage("--fail-device needs at least 2 devices to fail over to");
+  if (fail_at_frame < 0) fail_at_frame = frames / 2;
 
-  // With the observability plane on, mirror the server's structured logs to
-  // stderr; the sink is unowned, so it must outlive the server below.
+  // With the observability plane on, mirror the fleet's structured logs to
+  // stderr; the sink is unowned, so it must outlive the fleet below.
   mog::obs::StderrSink log_sink;
   if (obs_port >= 0) mog::obs::default_logger().add_sink(&log_sink);
 
-  mog::serve::ServeConfig cfg;
-  cfg.max_streams = streams;
-  cfg.queue_depth = static_cast<std::size_t>(depth);
-  cfg.drop_policy = drop;
-  cfg.collect_masks = false;
+  mog::cluster::FleetConfig cfg;
+  cfg.devices = static_cast<std::size_t>(devices);
+  cfg.serve.max_streams = streams;  // per device: headroom to absorb failover
+  cfg.serve.queue_depth = static_cast<std::size_t>(depth);
+  cfg.serve.drop_policy = drop;
+  cfg.serve.collect_masks = false;
   cfg.obs_port = obs_port;
-  mog::serve::StreamServer<float> server{cfg};
+  mog::cluster::DeviceFleet<float> fleet{cfg};
   if (obs_port >= 0)
     std::printf("observability: http://127.0.0.1:%d/metrics (also /healthz, "
                 "/statusz)\n",
-                server.obs_port());
+                fleet.obs_port());
 
   const mog::SceneConfig presets[] = {
       mog::SceneConfig::highway(192, 108),
@@ -118,43 +143,54 @@ int main(int argc, char** argv) try {
   };
 
   std::vector<mog::SyntheticScene> scenes;
+  std::vector<int> ids;
   for (int s = 0; s < streams; ++s) {
     mog::SceneConfig sc = presets[static_cast<std::size_t>(s) % 3];
     sc.seed += static_cast<std::uint64_t>(s);
     scenes.emplace_back(sc);
 
-    mog::serve::StreamServer<float>::GpuConfig gpu;
+    mog::cluster::DeviceFleet<float>::GpuConfig gpu;
     gpu.width = sc.width;
     gpu.height = sc.height;
     if (tiled_group > 0) {
       gpu.tiled = true;
       gpu.tiled_config.frame_group = tiled_group;
     }
-    server.open_stream(gpu);
+    ids.push_back(fleet.open_stream(gpu, nullptr, "cam" + std::to_string(s)));
   }
 
   // 30 fps cameras: camera s delivers frame t at t/30 s (staggered a little
-  // so arrivals don't tie). The background worker drains queues as the
-  // modeled device allows; a shallow --depth makes the drop policy visible.
-  server.start();
-  for (int t = 0; t < frames; ++t)
+  // so arrivals don't tie). Each device's background worker drains its queues
+  // as the modeled hardware allows; a shallow --depth makes the drop policy
+  // visible.
+  fleet.start();
+  for (int t = 0; t < frames; ++t) {
+    if (fail_device >= 0 && t == fail_at_frame) {
+      std::printf("failing device %d at frame %d: streams migrate live\n",
+                  fail_device, t);
+      fleet.fail_device(fail_device);
+    }
     for (int s = 0; s < streams; ++s)
-      server.submit(s, scenes[static_cast<std::size_t>(s)].frame(t),
-                    t / 30.0 + s * 1e-4);
-  server.stop();
-  server.drain();
+      fleet.submit(ids[static_cast<std::size_t>(s)],
+                   scenes[static_cast<std::size_t>(s)].frame(t),
+                   t / 30.0 + s * 1e-4);
+  }
+  fleet.stop();
+  fleet.drain();
 
-  std::printf("%s\n", server.summary().c_str());
-  const mog::telemetry::Rollup lat = server.aggregate_latency_rollup();
+  std::printf("%s\n", fleet.summary().c_str());
+  const mog::telemetry::Rollup lat = fleet.aggregate_latency_rollup();
   std::printf(
       "aggregate: %llu masks in %.3f s modeled  (%.1f fps, p99 latency %.2f "
       "ms, %llu dropped)\n",
-      static_cast<unsigned long long>(server.masks_delivered()),
-      server.makespan_seconds(),
-      static_cast<double>(server.masks_delivered()) /
-          server.makespan_seconds(),
+      static_cast<unsigned long long>(fleet.masks_delivered()),
+      fleet.makespan_seconds(),
+      static_cast<double>(fleet.masks_delivered()) / fleet.makespan_seconds(),
       1e3 * lat.p99,
-      static_cast<unsigned long long>(server.frames_dropped()));
+      static_cast<unsigned long long>(fleet.frames_dropped()));
+  if (fail_device >= 0)
+    std::printf("failover: %s\n",
+                fleet.migration_stats().summary().c_str());
   if (hold_seconds > 0) {
     std::printf("holding %d s for scrapers...\n", hold_seconds);
     std::fflush(stdout);

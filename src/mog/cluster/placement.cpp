@@ -1,0 +1,74 @@
+#include "mog/cluster/placement.hpp"
+
+#include <algorithm>
+
+#include "mog/common/rng.hpp"
+
+namespace mog::cluster {
+
+ClusterScheduler::ClusterScheduler(int vnodes_per_device)
+    : vnodes_per_device_(vnodes_per_device) {
+  MOG_CHECK(vnodes_per_device >= 1, "ring needs at least one vnode");
+}
+
+void ClusterScheduler::add_device(int device) {
+  MOG_CHECK(device >= 0, "device id must be >= 0");
+  // Seed the device's vnode sequence from its id; SplitMix64 scatters the
+  // consecutive ids across the whole hash space.
+  SplitMix64 mix{0x9e3779b97f4a7c15ull ^
+                 (static_cast<std::uint64_t>(device) + 1)};
+  for (int v = 0; v < vnodes_per_device_; ++v)
+    ring_.push_back(VNode{mix.next(), device});
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.device < b.device;
+            });
+  ++devices_;
+}
+
+std::uint64_t ClusterScheduler::hash_key(std::string_view key) {
+  // FNV-1a folded through SplitMix64's finalizer for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64{h}.next();
+}
+
+int ClusterScheduler::pick(std::string_view key,
+                           const std::vector<DeviceLoad>& loads) const {
+  // 1. Lightest alive load wins outright.
+  const DeviceLoad* best = nullptr;
+  for (const DeviceLoad& l : loads) {
+    if (!l.alive) continue;
+    if (best == nullptr || l.open_streams < best->open_streams ||
+        (l.open_streams == best->open_streams &&
+         l.bytes_in_use < best->bytes_in_use))
+      best = &l;
+  }
+  if (best == nullptr) return -1;
+
+  std::vector<int> tied;
+  for (const DeviceLoad& l : loads)
+    if (l.alive && l.open_streams == best->open_streams &&
+        l.bytes_in_use == best->bytes_in_use)
+      tied.push_back(l.device);
+  if (tied.size() == 1) return tied.front();
+
+  // 2. Tiebreak: first tied device met walking the ring from hash(key).
+  const std::uint64_t h = hash_key(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const VNode& v, std::uint64_t hash) { return v.hash < hash; });
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(tied.begin(), tied.end(), it->device) != tied.end())
+      return it->device;
+    ++it;
+  }
+  return tied.front();  // ring empty (no add_device yet): deterministic pick
+}
+
+}  // namespace mog::cluster

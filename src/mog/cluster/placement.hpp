@@ -1,0 +1,63 @@
+// Stream -> device placement for the multi-device fleet.
+//
+// Policy: least-loaded first, consistent-hash tiebreak. The primary signal
+// is the live load vector (open streams, then device-memory bytes) so a new
+// stream always lands on the emptiest device; when several devices tie — the
+// common case on an idle fleet — the winner is chosen by walking a
+// consistent-hash ring from the stream key's hash, so placement is
+// deterministic, uniformly spread, and stable: adding or losing a device
+// only remaps the streams that hashed near it, not the whole fleet.
+//
+// The ring holds `vnodes` virtual nodes per device (SplitMix64-expanded from
+// the device id), the standard trick to smooth out hash-space imbalance.
+// Lost devices stay on the ring but are never eligible, so a device coming
+// back (future work) would reclaim exactly its old arc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mog/common/error.hpp"
+
+namespace mog::cluster {
+
+/// Live load snapshot of one device, as seen by the scheduler.
+struct DeviceLoad {
+  int device = -1;
+  bool alive = true;
+  int open_streams = 0;
+  std::size_t bytes_in_use = 0;
+};
+
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(int vnodes_per_device = 64);
+
+  /// Register a device with `vnodes_per_device` virtual nodes on the ring.
+  void add_device(int device);
+
+  /// Stable 64-bit hash of a stream placement key.
+  static std::uint64_t hash_key(std::string_view key);
+
+  /// Pick the placement target: the alive device with the lightest load
+  /// (fewest open streams, then fewest bytes); ties resolved by the first
+  /// tied device met walking the ring clockwise from hash(key). Returns -1
+  /// when no alive device exists.
+  int pick(std::string_view key, const std::vector<DeviceLoad>& loads) const;
+
+  int devices_on_ring() const { return devices_; }
+
+ private:
+  struct VNode {
+    std::uint64_t hash;
+    int device;
+  };
+
+  int vnodes_per_device_;
+  int devices_ = 0;
+  std::vector<VNode> ring_;  ///< sorted by hash
+};
+
+}  // namespace mog::cluster

@@ -1,6 +1,5 @@
 #include "mog/cpu/model_io.hpp"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
 
@@ -18,6 +17,12 @@ constexpr char kMagic[4] = {'M', 'O', 'G', 'M'};
 constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kOldestLoadableVersion = 1;
 
+// A header can claim any dimensions it likes; without a cap a 16-byte
+// forgery would make the loader allocate terabytes before the truncation
+// check fires. 16384² at K=8 is ~50 GB of scalars — far beyond any real
+// model, close enough to reject everything absurd.
+constexpr std::int32_t kMaxDimension = 16384;
+
 struct Header {
   char magic[4];
   std::uint32_t version;
@@ -28,30 +33,28 @@ struct Header {
 };
 
 template <typename T>
-void write_array(std::ofstream& out, const std::vector<T>& v, Crc32& crc) {
+void append_array(std::vector<std::uint8_t>& out, const std::vector<T>& v,
+                  Crc32& crc) {
   const std::size_t bytes = v.size() * sizeof(T);
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(bytes));
+  const std::size_t at = out.size();
+  out.resize(at + bytes);
+  std::memcpy(out.data() + at, v.data(), bytes);
   crc.update(v.data(), bytes);
 }
 
 template <typename T>
-void read_array(std::ifstream& in, std::vector<T>& v, Crc32& crc,
-                const std::string& path) {
+void extract_array(const std::uint8_t* data, std::size_t& cursor,
+                   std::vector<T>& v, Crc32& crc) {
   const std::size_t bytes = v.size() * sizeof(T);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(bytes));
-  if (!in) throw Error{"truncated model file: " + path};
+  std::memcpy(v.data(), data + cursor, bytes);
+  cursor += bytes;
   crc.update(v.data(), bytes);
 }
 
 }  // namespace
 
 template <typename T>
-void save_model(const std::string& path, const MogModel<T>& model) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error{"cannot open for writing: " + path};
-
+std::vector<std::uint8_t> serialize_model(const MogModel<T>& model) {
   Header h{};
   std::memcpy(h.magic, kMagic, 4);
   h.version = kVersion;
@@ -59,57 +62,124 @@ void save_model(const std::string& path, const MogModel<T>& model) {
   h.width = model.width();
   h.height = model.height();
   h.components = model.num_components();
-  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof h + 3 * model.weights().size() * sizeof(T) +
+              sizeof(std::uint32_t));
+  out.resize(sizeof h);
+  std::memcpy(out.data(), &h, sizeof h);
   Crc32 crc;
-  write_array(out, model.weights(), crc);
-  write_array(out, model.means(), crc);
-  write_array(out, model.sds(), crc);
+  append_array(out, model.weights(), crc);
+  append_array(out, model.means(), crc);
+  append_array(out, model.sds(), crc);
   const std::uint32_t checksum = crc.value();
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
-  if (!out) throw Error{"write failed: " + path};
+  const std::size_t at = out.size();
+  out.resize(at + sizeof checksum);
+  std::memcpy(out.data() + at, &checksum, sizeof checksum);
+  return out;
+}
+
+template <typename T>
+MogModel<T> deserialize_model(const std::uint8_t* data, std::size_t size,
+                              const MogParams& params,
+                              const std::string& context) {
+  // Every check fires before the first byte of model state is written, so a
+  // rejected payload can never leave a half-restored model behind.
+  if (size < sizeof(Header))
+    throw ModelTruncatedError{strprintf(
+        "truncated model in %s: %zu bytes is shorter than the %zu-byte "
+        "header",
+        context.c_str(), size, sizeof(Header))};
+
+  Header h{};
+  std::memcpy(&h, data, sizeof h);
+  if (std::memcmp(h.magic, kMagic, 4) != 0)
+    throw ModelFormatError{"not a MOGM model: " + context};
+  if (h.version < kOldestLoadableVersion || h.version > kVersion)
+    throw ModelFormatError{strprintf("unsupported model version %u in %s",
+                                     h.version, context.c_str())};
+  if (h.dtype != sizeof(T))
+    throw ModelFormatError{strprintf(
+        "scalar-type mismatch in %s: payload has %u-byte scalars, caller "
+        "expects %zu",
+        context.c_str(), h.dtype, sizeof(T))};
+  if (h.width <= 0 || h.height <= 0 || h.width > kMaxDimension ||
+      h.height > kMaxDimension || h.components <= 0 || h.components > 8)
+    throw ModelFormatError{strprintf(
+        "corrupt model header in %s: claims %dx%d, %d components",
+        context.c_str(), h.width, h.height, h.components)};
+  if (h.components != params.num_components)
+    throw ModelFormatError{strprintf(
+        "component mismatch in %s: payload has %d, params expect %d",
+        context.c_str(), h.components, params.num_components)};
+
+  // Dimensions are capped above, so this cannot overflow std::size_t.
+  const std::size_t scalars = static_cast<std::size_t>(h.width) *
+                              static_cast<std::size_t>(h.height) *
+                              static_cast<std::size_t>(h.components);
+  const std::size_t payload = 3 * scalars * sizeof(T);
+  const std::size_t expected =
+      sizeof(Header) + payload +
+      (h.version >= 2 ? sizeof(std::uint32_t) : std::size_t{0});
+  if (size < expected)
+    throw ModelTruncatedError{strprintf(
+        "truncated model in %s: %zu bytes, header promises %zu",
+        context.c_str(), size, expected)};
+  if (size > expected)
+    throw ModelFormatError{strprintf(
+        "trailing garbage in %s: %zu bytes past the declared payload",
+        context.c_str(), size - expected)};
+
+  MogModel<T> model(h.width, h.height, params);
+  std::size_t cursor = sizeof(Header);
+  Crc32 crc;
+  extract_array(data, cursor, model.weights(), crc);
+  extract_array(data, cursor, model.means(), crc);
+  extract_array(data, cursor, model.sds(), crc);
+  if (h.version >= 2) {
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, data + cursor, sizeof stored);
+    if (stored != crc.value())
+      throw ModelChecksumError{strprintf(
+          "model checksum mismatch in %s (stored %08x, computed %08x) — "
+          "snapshot is corrupt",
+          context.c_str(), stored, crc.value())};
+  }
+  return model;
+}
+
+template <typename T>
+void save_model(const std::string& path, const MogModel<T>& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ModelIoError{"cannot open for writing: " + path};
+  const std::vector<std::uint8_t> bytes = serialize_model(model);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw ModelIoError{"write failed: " + path};
 }
 
 template <typename T>
 MogModel<T> load_model(const std::string& path, const MogParams& params) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error{"cannot open for reading: " + path};
-
-  Header h{};
-  in.read(reinterpret_cast<char*>(&h), sizeof h);
-  if (!in || std::memcmp(h.magic, kMagic, 4) != 0)
-    throw Error{"not a MOGM model file: " + path};
-  if (h.version < kOldestLoadableVersion || h.version > kVersion)
-    throw Error{strprintf("unsupported model version %u in %s", h.version,
-                          path.c_str())};
-  if (h.dtype != sizeof(T))
-    throw Error{strprintf(
-        "scalar-type mismatch in %s: file has %u-byte scalars, caller "
-        "expects %zu",
-        path.c_str(), h.dtype, sizeof(T))};
-  if (h.width <= 0 || h.height <= 0 || h.components <= 0 ||
-      h.components > 8)
-    throw Error{"corrupt model header: " + path};
-  MOG_CHECK(h.components == params.num_components,
-            "params.num_components does not match the stored model");
-
-  MogModel<T> model(h.width, h.height, params);
-  Crc32 crc;
-  read_array(in, model.weights(), crc, path);
-  read_array(in, model.means(), crc, path);
-  read_array(in, model.sds(), crc, path);
-  if (h.version >= 2) {
-    std::uint32_t stored = 0;
-    in.read(reinterpret_cast<char*>(&stored), sizeof stored);
-    if (!in) throw Error{"truncated model file (missing checksum): " + path};
-    if (stored != crc.value())
-      throw Error{strprintf(
-          "model checksum mismatch in %s (stored %08x, computed %08x) — "
-          "snapshot is corrupt",
-          path.c_str(), stored, crc.value())};
-  }
-  return model;
+  if (!in) throw ModelIoError{"cannot open for reading: " + path};
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) throw ModelIoError{"read failed: " + path};
+  return deserialize_model<T>(bytes.data(), bytes.size(), params, path);
 }
 
+template std::vector<std::uint8_t> serialize_model<float>(
+    const MogModel<float>&);
+template std::vector<std::uint8_t> serialize_model<double>(
+    const MogModel<double>&);
+template MogModel<float> deserialize_model<float>(const std::uint8_t*,
+                                                  std::size_t,
+                                                  const MogParams&,
+                                                  const std::string&);
+template MogModel<double> deserialize_model<double>(const std::uint8_t*,
+                                                    std::size_t,
+                                                    const MogParams&,
+                                                    const std::string&);
 template void save_model<float>(const std::string&, const MogModel<float>&);
 template void save_model<double>(const std::string&, const MogModel<double>&);
 template MogModel<float> load_model<float>(const std::string&,

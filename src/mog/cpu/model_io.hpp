@@ -12,21 +12,78 @@
 // Writers emit v2; the loader accepts v1 files (no trailing checksum) and
 // verifies the CRC on v2+ so checkpoint rollback can reject corrupt
 // snapshots instead of resurrecting garbage into a live pipeline.
+//
+// The same encoding exists in memory: serialize_model()/deserialize_model()
+// are the fleet's live-migration snapshot path (a stream failing over to
+// another device round-trips its model through these), so the decoder is
+// hardened — truncated, oversized, dimension-bombed, or bit-flipped payloads
+// are rejected with a *typed* error before any model state is exposed, never
+// returned as partial state.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mog/cpu/mog_model.hpp"
 
 namespace mog {
 
+/// Base of every model (de)serialization failure.
+class ModelIoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Structurally invalid: bad magic, unsupported version, scalar-type or
+/// component mismatch, absurd dimensions, or trailing bytes.
+class ModelFormatError : public ModelIoError {
+ public:
+  using ModelIoError::ModelIoError;
+};
+
+/// Payload shorter than the header promises (short read / cut-off file).
+class ModelTruncatedError : public ModelIoError {
+ public:
+  using ModelIoError::ModelIoError;
+};
+
+/// CRC-32 mismatch over the parameter arrays (bit rot / in-flight flip).
+class ModelChecksumError : public ModelIoError {
+ public:
+  using ModelIoError::ModelIoError;
+};
+
+/// Encode the model as a self-contained MOGM v2 image (CRC-protected).
+template <typename T>
+std::vector<std::uint8_t> serialize_model(const MogModel<T>& model);
+
+/// Decode a MOGM image produced by serialize_model()/save_model(). Throws a
+/// ModelIoError subclass on any defect; `context` names the payload's origin
+/// in error messages (a path, "migration snapshot", ...).
+template <typename T>
+MogModel<T> deserialize_model(const std::uint8_t* data, std::size_t size,
+                              const MogParams& params,
+                              const std::string& context = "model payload");
+
 template <typename T>
 void save_model(const std::string& path, const MogModel<T>& model);
 
-/// Throws mog::Error on malformed files or scalar-type mismatch.
+/// Throws a ModelIoError subclass on malformed files or scalar-type
+/// mismatch.
 template <typename T>
 MogModel<T> load_model(const std::string& path, const MogParams& params);
 
+extern template std::vector<std::uint8_t> serialize_model<float>(
+    const MogModel<float>&);
+extern template std::vector<std::uint8_t> serialize_model<double>(
+    const MogModel<double>&);
+extern template MogModel<float> deserialize_model<float>(const std::uint8_t*,
+                                                         std::size_t,
+                                                         const MogParams&,
+                                                         const std::string&);
+extern template MogModel<double> deserialize_model<double>(
+    const std::uint8_t*, std::size_t, const MogParams&, const std::string&);
 extern template void save_model<float>(const std::string&,
                                        const MogModel<float>&);
 extern template void save_model<double>(const std::string&,

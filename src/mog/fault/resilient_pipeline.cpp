@@ -65,6 +65,8 @@ void ResilienceConfig::validate() const {
             "weight_drift_tolerance must be positive");
   MOG_CHECK(degrade_after_failures >= 1,
             "degrade_after_failures must be >= 1");
+  MOG_CHECK(frame_deadline_seconds >= 0.0,
+            "frame_deadline_seconds must be >= 0");
 }
 
 std::string RecoveryStats::summary() const {
@@ -145,6 +147,23 @@ FrameU8 ResilientPipeline<T>::background() const {
 }
 
 template <typename T>
+void ResilientPipeline<T>::adopt_model(const MogModel<T>& m) {
+  MOG_CHECK(m.width() == gpu_config_.width &&
+                m.height() == gpu_config_.height &&
+                m.num_components() == gpu_config_.params.num_components,
+            "adopted model geometry does not match the pipeline");
+  restore_model(m);
+  checkpoint_ = m;
+  has_checkpoint_ = true;
+  frames_since_checkpoint_ = 0;
+  consecutive_lost_ = 0;
+  telemetry::emit_instant("model_adopted", "recovery", with_ticket({}));
+  klog.info("external model adopted",
+            {{"tier", to_string(tier_)},
+             {"pixels", static_cast<std::int64_t>(m.num_pixels())}});
+}
+
+template <typename T>
 gpusim::FrameSchedule ResilientPipeline<T>::frame_schedule() const {
   if (gpu_) return gpu_->frame_schedule();
   gpusim::FrameSchedule sched;  // CPU tier: no host<->device transfers
@@ -222,14 +241,37 @@ bool ResilientPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
 }
 
 template <typename T>
+bool ResilientPipeline<T>::backoff_before_retry(int attempt,
+                                                double& frame_backoff) {
+  const double delay = res_.retry.backoff_base_seconds *
+                       std::pow(res_.retry.backoff_multiplier, attempt - 2);
+  // A sick device must fail over, not stall its stream through the whole
+  // exponential ladder: once this frame's accumulated backoff would cross
+  // the deadline, stop retrying and let the abandonment path run now.
+  if (res_.frame_deadline_seconds > 0 &&
+      frame_backoff + delay > res_.frame_deadline_seconds) {
+    ++stats_.deadline_exceeded;
+    telemetry::emit_instant(
+        "retry_deadline", "recovery",
+        with_ticket({{"deadline_seconds", res_.frame_deadline_seconds}}));
+    klog.warn("frame retry deadline exceeded, abandoning",
+              {{"deadline_seconds", res_.frame_deadline_seconds},
+               {"attempt", attempt}});
+    return false;
+  }
+  frame_backoff += delay;
+  ++stats_.retries;
+  stats_.backoff_seconds += delay;
+  return true;
+}
+
+template <typename T>
 bool ResilientPipeline<T>::run_gpu_with_retry(const FrameU8& frame,
                                               FrameU8& fg, bool& delivered) {
+  double frame_backoff = 0;
   for (int attempt = 1; attempt <= res_.retry.max_attempts; ++attempt) {
     if (attempt > 1) {
-      ++stats_.retries;
-      stats_.backoff_seconds +=
-          res_.retry.backoff_base_seconds *
-          std::pow(res_.retry.backoff_multiplier, attempt - 2);
+      if (!backoff_before_retry(attempt, frame_backoff)) break;
       telemetry::emit_instant(
           "retry", "recovery",
           with_ticket({{"attempt", static_cast<double>(attempt)}}));
@@ -373,13 +415,9 @@ void ResilientPipeline<T>::take_checkpoint() {
 template <typename T>
 int ResilientPipeline<T>::flush(std::vector<FrameU8>& out) {
   if (!gpu_) return 0;
+  double frame_backoff = 0;
   for (int attempt = 1; attempt <= res_.retry.max_attempts; ++attempt) {
-    if (attempt > 1) {
-      ++stats_.retries;
-      stats_.backoff_seconds +=
-          res_.retry.backoff_base_seconds *
-          std::pow(res_.retry.backoff_multiplier, attempt - 2);
-    }
+    if (attempt > 1 && !backoff_before_retry(attempt, frame_backoff)) break;
     try {
       int n = 0;
       if (gpu_->in_flight()) {

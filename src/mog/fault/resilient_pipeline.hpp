@@ -56,6 +56,13 @@ struct ResilienceConfig {
   std::size_t health_check_stride = 4;  ///< watchdog pixel subsampling
   double weight_drift_tolerance = kDefaultWeightDriftTolerance;
 
+  /// Cap on the total modeled retry/backoff wall-clock spent on one frame
+  /// (seconds; 0 = unlimited). A sick device whose every attempt fails would
+  /// otherwise stall its stream for the full exponential ladder — with a
+  /// deadline the frame is abandoned early (salvaged mask, degradation
+  /// counter advances) so the stream fails over instead of stalling.
+  double frame_deadline_seconds = 0;
+
   /// Consecutive unrecoverable frame episodes before stepping down the
   /// degradation ladder.
   int degrade_after_failures = 2;
@@ -84,6 +91,7 @@ struct RecoveryStats {
   std::uint64_t checkpoints = 0;       ///< snapshots taken
   std::uint64_t rollbacks = 0;         ///< watchdog-triggered restores
   std::uint64_t degradations = 0;      ///< ladder steps taken
+  std::uint64_t deadline_exceeded = 0; ///< retries cut off by frame deadline
   double backoff_seconds = 0.0;        ///< modeled retry delay, total
 
   bool operator==(const RecoveryStats&) const = default;
@@ -128,6 +136,12 @@ class ResilientPipeline {
   MogModel<T> model() const;
   FrameU8 background() const;
 
+  /// Overwrite the live model with externally restored state (migration
+  /// resume, warm start). The adopted state also becomes the in-memory
+  /// checkpoint, so a later watchdog rollback cannot resurrect whatever the
+  /// engine held before adoption, and the failure streak is reset.
+  void adopt_model(const MogModel<T>& m);
+
   /// Active GPU pipeline, or nullptr after degradation to the CPU tier.
   const GpuMogPipeline<T>* gpu_pipeline() const { return gpu_.get(); }
 
@@ -136,6 +150,7 @@ class ResilientPipeline {
  private:
   void build_engine(ExecutionTier tier);
   void degrade();
+  bool backoff_before_retry(int attempt, double& frame_backoff);
   bool run_gpu_with_retry(const FrameU8& frame, FrameU8& fg, bool& delivered);
   bool salvage(FrameU8& fg, std::uint64_t& counter);
   void after_absorbed_frame();

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,6 +22,8 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
@@ -44,6 +47,17 @@ void HttpServer::handle(std::string path, Handler handler) {
   MOG_CHECK(!running_, "register handlers before start()");
   MOG_CHECK(handler != nullptr, "null HTTP handler");
   handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+void HttpServer::set_read_timeout(double seconds) {
+  MOG_CHECK(!running_, "set_read_timeout before start()");
+  read_timeout_seconds_ = seconds;
+}
+
+void HttpServer::set_max_request_bytes(std::size_t bytes) {
+  MOG_CHECK(!running_, "set_max_request_bytes before start()");
+  MOG_CHECK(bytes >= 64, "request bound too small to hold a request line");
+  max_request_bytes_ = bytes;
 }
 
 void HttpServer::start(int port) {
@@ -100,14 +114,35 @@ void HttpServer::serve_loop() {
       break;  // listener broken: stop serving rather than spin
     }
 
+    // Bound how long this request may take to arrive: the single server
+    // thread must not be parked forever by a peer that connects and stalls.
+    if (read_timeout_seconds_ > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(read_timeout_seconds_);
+      tv.tv_usec = static_cast<suseconds_t>(
+          (read_timeout_seconds_ - static_cast<double>(tv.tv_sec)) * 1e6);
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+
     // Read until the end of the request headers (the endpoints are all GET,
-    // so no body) with a small cap against garbage input.
+    // so no body), bounded in both bytes and time.
     std::string raw;
+    bool timed_out = false;
     char buf[2048];
-    while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 16384) {
+    while (raw.find("\r\n\r\n") == std::string::npos &&
+           raw.size() < max_request_bytes_) {
       const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
-      if (n <= 0) break;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timed_out = true;
+        break;
+      }
+      if (n <= 0) break;  // peer closed or hard error: whatever arrived is it
       raw.append(buf, static_cast<std::size_t>(n));
+    }
+    if (raw.empty() && !timed_out) {
+      // Connect-and-close probe (port scan, health check): nothing to say.
+      ::close(client);
+      continue;
     }
 
     HttpResponse response;
@@ -118,7 +153,13 @@ void HttpServer::serve_loop() {
       sp2 = sp1 == std::string::npos ? std::string::npos
                                      : raw.find(' ', sp1 + 1);
     }
-    if (sp2 == std::string::npos || sp2 > line_end) {
+    if (raw.size() >= max_request_bytes_) {
+      response.status = 431;
+      response.body = "request too large\n";
+    } else if (timed_out) {
+      response.status = 408;
+      response.body = "request timed out\n";
+    } else if (sp2 == std::string::npos || sp2 > line_end) {
       response.status = 400;
       response.body = "malformed request\n";
     } else {

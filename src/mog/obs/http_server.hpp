@@ -49,6 +49,16 @@ class HttpServer {
   /// Register an exact-path handler (no patterns). Must precede start().
   void handle(std::string path, Handler handler);
 
+  /// Bound how long one request may take to arrive (SO_RCVTIMEO on the
+  /// client socket). A connection that dribbles or stalls past the deadline
+  /// gets "408 Request Timeout" instead of parking the server thread
+  /// forever. Must precede start(); <= 0 disables the bound.
+  void set_read_timeout(double seconds);
+
+  /// Bound the request head size. Anything larger gets "431 Request Header
+  /// Fields Too Large" without buffering the rest. Must precede start().
+  void set_max_request_bytes(std::size_t bytes);
+
   /// Bind 127.0.0.1:`port` (0 picks an ephemeral port — tests) and start
   /// the accept loop. Throws mog::Error when the bind fails.
   void start(int port);
@@ -66,6 +76,8 @@ class HttpServer {
   HttpResponse dispatch(const HttpRequest& request) const;
 
   std::vector<std::pair<std::string, Handler>> handlers_;
+  double read_timeout_seconds_ = 5.0;
+  std::size_t max_request_bytes_ = 16384;
   int listen_fd_ = -1;
   int port_ = -1;
   std::atomic<bool> running_{false};

@@ -99,6 +99,7 @@ int StreamServer<T>::open_stream(
   s->pipeline = std::move(pipeline);
   s->queue = std::make_unique<BoundedFrameQueue>(config_.queue_depth,
                                                  config_.drop_policy);
+  s->gpu_config = gpu_config;
   const int buffers =
       gpu_config.tiled ? 2 * gpu_config.tiled_config.frame_group : 2;
   s->lane = timeline_.add_stream(buffers);
@@ -152,6 +153,83 @@ bool StreamServer<T>::submit(int id, FrameU8 frame, double arrival_seconds) {
   }
   cv_.notify_all();
   return accepted;
+}
+
+template <typename T>
+typename StreamServer<T>::GpuConfig StreamServer<T>::stream_gpu_config(
+    int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_at(id).gpu_config;
+}
+
+template <typename T>
+std::vector<QueuedFrame> StreamServer<T>::steal_queue(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream& s = stream_at(id);
+  MOG_CHECK(s.open, "steal_queue on a closed stream");
+  std::vector<QueuedFrame> out;
+  QueuedFrame qf;
+  while (s.queue->pop(qf)) out.push_back(std::move(qf));
+  return out;
+}
+
+template <typename T>
+bool StreamServer<T>::resubmit(int id, QueuedFrame qf) {
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stream& s = stream_at(id);
+    MOG_CHECK(s.open, "resubmit to a closed stream");
+    accepted =
+        s.queue->push(std::move(qf.frame), qf.arrival_seconds, qf.ticket);
+    if (!accepted)
+      log_.warn("migrated frame dropped at ingress",
+                {{"stream", id},
+                 {"ticket", static_cast<std::int64_t>(qf.ticket)},
+                 {"policy", to_string(config_.drop_policy)}});
+  }
+  cv_.notify_all();
+  return accepted;
+}
+
+template <typename T>
+MogModel<T> StreamServer<T>::stream_model(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Stream& s = stream_at(id);
+  MOG_CHECK(s.pipeline != nullptr, "stream_model on a closed stream");
+  return s.pipeline->model();
+}
+
+template <typename T>
+void StreamServer<T>::restore_stream_model(int id, const MogModel<T>& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream& s = stream_at(id);
+  MOG_CHECK(s.pipeline != nullptr, "restore_stream_model on a closed stream");
+  s.pipeline->adopt_model(m);
+}
+
+template <typename T>
+fault::RecoveryStats StreamServer<T>::stream_recovery_stats(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Stream& s = stream_at(id);
+  MOG_CHECK(s.pipeline != nullptr,
+            "stream_recovery_stats on a closed stream");
+  return s.pipeline->recovery_stats();
+}
+
+template <typename T>
+std::vector<double> StreamServer<T>::latency_samples(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_at(id).latencies;
+}
+
+template <typename T>
+std::vector<double> StreamServer<T>::aggregate_latencies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> all;
+  for (const auto& s : streams_)
+    all.insert(all.end(), s->latencies.begin(), s->latencies.end());
+  return all;
 }
 
 template <typename T>
@@ -654,6 +732,7 @@ std::string StreamServer<T>::metrics_text_locked() const {
           {"retry", r.retries},          {"mask_reused", r.masks_reused},
           {"frame_lost", r.frames_lost}, {"checkpoint", r.checkpoints},
           {"rollback", r.rollbacks},     {"degradation", r.degradations},
+          {"deadline", r.deadline_exceeded},
       };
       for (const auto& [action, count] : actions) {
         obs::LabelSet labels = stream_label(i);

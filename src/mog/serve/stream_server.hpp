@@ -153,6 +153,36 @@ class StreamServer {
   int open_streams() const;      ///< streams currently admitted
   StreamStats stream_stats(int id) const;
 
+  // --- migration hooks (used by cluster::DeviceFleet to move a live stream
+  // to another device; see src/mog/cluster/) ------------------------------
+
+  /// The GPU configuration the stream was opened with.
+  GpuConfig stream_gpu_config(int id) const;
+
+  /// Pop every frame still waiting in the stream's ingress queue, in order,
+  /// preserving arrival stamps and trace tickets (they re-enter another
+  /// device's queue via resubmit()). Counted as popped in QueueStats.
+  std::vector<QueuedFrame> steal_queue(int id);
+
+  /// Re-enqueue a frame stolen from another server, keeping its arrival
+  /// stamp and ticket (no new ticket is minted). Returns false when the
+  /// drop policy refused it.
+  bool resubmit(int id, QueuedFrame qf);
+
+  /// Download the stream's current MoG model (works on every tier).
+  MogModel<T> stream_model(int id) const;
+
+  /// Overwrite the stream's model with restored snapshot state.
+  void restore_stream_model(int id, const MogModel<T>& m);
+
+  /// Recovery counters of the stream's resilient pipeline.
+  fault::RecoveryStats stream_recovery_stats(int id) const;
+
+  /// Raw end-to-end latency samples (per stream / across all streams) — the
+  /// fleet merges these into device-spanning histograms.
+  std::vector<double> latency_samples(int id) const;
+  std::vector<double> aggregate_latencies() const;
+
   /// End-to-end latency (arrival -> mask download complete) rollups.
   telemetry::Rollup latency_rollup(int id) const;
   telemetry::Rollup aggregate_latency_rollup() const;
@@ -211,6 +241,7 @@ class StreamServer {
   struct Stream {
     std::unique_ptr<fault::ResilientPipeline<T>> pipeline;
     std::unique_ptr<BoundedFrameQueue> queue;
+    GpuConfig gpu_config;
     int lane = -1;               ///< SharedTimeline stream index
     bool open = true;
     std::size_t device_bytes = 0;

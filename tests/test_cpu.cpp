@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "mog/cpu/cost_model.hpp"
 #include "mog/cpu/model_io.hpp"
@@ -455,6 +457,126 @@ TEST(ModelIo, RejectsComponentMismatch) {
   p5.num_components = 5;
   EXPECT_THROW(load_model<double>(path, p5), Error);
   std::remove(path.c_str());
+}
+
+TEST(ModelIo, InMemoryRoundTripIsBitExact) {
+  const SyntheticScene scene{quiet_scene()};
+  SerialMog<double> mog{scene.width(), scene.height()};
+  FrameU8 fg;
+  for (int t = 0; t < 6; ++t) mog.apply(scene.frame(t), fg);
+
+  const std::vector<std::uint8_t> bytes = serialize_model(mog.model());
+  const MogModel<double> restored =
+      deserialize_model<double>(bytes.data(), bytes.size(), mog.params());
+  EXPECT_EQ(restored.weights(), mog.model().weights());
+  EXPECT_EQ(restored.means(), mog.model().means());
+  EXPECT_EQ(restored.sds(), mog.model().sds());
+}
+
+TEST(ModelIo, TruncationAtEveryRegionThrowsTypedError) {
+  SerialMog<double> mog{16, 12};
+  const std::vector<std::uint8_t> bytes = serialize_model(mog.model());
+  // Cut inside the header, at the header boundary, inside each parameter
+  // array, and one byte short of complete: all must reject as truncation,
+  // none may return a partially populated model.
+  const std::size_t cuts[] = {0,
+                              1,
+                              23,
+                              24,
+                              bytes.size() / 4,
+                              bytes.size() / 2,
+                              3 * bytes.size() / 4,
+                              bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    try {
+      deserialize_model<double>(bytes.data(), cut, MogParams{});
+      FAIL() << "accepted a payload cut to " << cut << " bytes";
+    } catch (const ModelTruncatedError& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ModelIo, BitFlipInAnyArrayThrowsChecksumError) {
+  SerialMog<double> mog{16, 16};
+  const SyntheticScene scene{quiet_scene(16, 16)};
+  FrameU8 fg;
+  for (int t = 0; t < 4; ++t) mog.apply(scene.frame(t), fg);
+  const std::vector<std::uint8_t> clean = serialize_model(mog.model());
+
+  // One flipped bit anywhere in the weights / means / sds arrays or in the
+  // stored CRC itself must be caught by the checksum.
+  const std::size_t header = 24, payload = clean.size() - header - 4;
+  const std::size_t offsets[] = {header,
+                                 header + payload / 6,
+                                 header + payload / 2,
+                                 header + 5 * payload / 6,
+                                 clean.size() - 5,
+                                 clean.size() - 1};
+  for (const std::size_t at : offsets) {
+    std::vector<std::uint8_t> bad = clean;
+    bad[at] ^= 0x10;
+    try {
+      deserialize_model<double>(bad.data(), bad.size(), MogParams{});
+      FAIL() << "accepted a bit flip at byte " << at;
+    } catch (const ModelChecksumError& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ModelIo, DimensionBombHeaderIsRejectedBeforeAllocation) {
+  SerialMog<double> mog{16, 12};
+  std::vector<std::uint8_t> bytes = serialize_model(mog.model());
+  // Forge absurd dimensions into the header (width at offset 12): without
+  // the cap the loader would try to allocate terabytes before noticing the
+  // payload is 9 KB.
+  const std::int32_t bomb = 1 << 30;
+  std::memcpy(bytes.data() + 12, &bomb, sizeof bomb);
+  EXPECT_THROW(
+      deserialize_model<double>(bytes.data(), bytes.size(), MogParams{}),
+      ModelFormatError);
+  // Zero and negative dimensions are equally malformed.
+  const std::int32_t zero = 0, negative = -16;
+  std::memcpy(bytes.data() + 12, &zero, sizeof zero);
+  EXPECT_THROW(
+      deserialize_model<double>(bytes.data(), bytes.size(), MogParams{}),
+      ModelFormatError);
+  std::memcpy(bytes.data() + 12, &negative, sizeof negative);
+  EXPECT_THROW(
+      deserialize_model<double>(bytes.data(), bytes.size(), MogParams{}),
+      ModelFormatError);
+}
+
+TEST(ModelIo, TrailingGarbageIsRejected) {
+  SerialMog<double> mog{16, 12};
+  std::vector<std::uint8_t> bytes = serialize_model(mog.model());
+  bytes.push_back(0xab);  // one byte past the declared payload
+  try {
+    deserialize_model<double>(bytes.data(), bytes.size(), MogParams{});
+    FAIL() << "accepted trailing garbage";
+  } catch (const ModelFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIo, ErrorTypesFormAHierarchyUnderError) {
+  // Callers can catch the family (ModelIoError) or the root (Error) without
+  // caring which specific guard fired.
+  SerialMog<double> mog{16, 12};
+  std::vector<std::uint8_t> bytes = serialize_model(mog.model());
+  bytes[30] ^= 0x01;
+  EXPECT_THROW(
+      deserialize_model<double>(bytes.data(), bytes.size(), MogParams{}),
+      ModelIoError);
+  EXPECT_THROW(deserialize_model<double>(bytes.data(), 10, MogParams{}),
+               ModelIoError);
+  EXPECT_THROW(
+      deserialize_model<double>(bytes.data(), bytes.size(), MogParams{}),
+      Error);
 }
 
 TEST(CostModel, RejectsBadInputs) {

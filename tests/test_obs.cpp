@@ -323,6 +323,82 @@ TEST(Http, ConcurrentScrapesAllSucceed) {
   server.stop();
 }
 
+/// Send raw bytes (possibly a partial or malformed request) and read whatever
+/// the server answers before closing. With `half_close` the write side is shut
+/// down after sending, so the server sees EOF; without it our end stays open,
+/// which lets read-timeout behaviour be observed.
+std::string http_raw(int port, const std::string& bytes,
+                     bool half_close = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  if (!bytes.empty())
+    EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Http, OversizedRequestIsRefusedWith431) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  server.set_max_request_bytes(64);
+  server.start(0);
+
+  const std::string big = "GET /ping HTTP/1.1\r\nX-Pad: " +
+                          std::string(512, 'a') + "\r\n\r\n";
+  const std::string refused = http_raw(server.port(), big);
+  EXPECT_NE(refused.find("HTTP/1.1 431"), std::string::npos) << refused;
+
+  // One abusive client must not take the endpoint down.
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(http_get(server.port(), "/ping").find("HTTP/1.1 200"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(Http, StalledRequestTimesOutWith408AndServerStaysUp) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  server.set_read_timeout(0.2);
+  server.start(0);
+
+  // A peer that sends half a request line and then goes quiet would park the
+  // single serve thread forever without the read deadline.
+  const std::string stalled = http_raw(server.port(), "GET /ping HTT");
+  EXPECT_NE(stalled.find("HTTP/1.1 408"), std::string::npos) << stalled;
+
+  // A connect-and-close probe (port scan / TCP health check) gets silence,
+  // not an error page, and the server keeps serving afterwards.
+  EXPECT_EQ(http_raw(server.port(), "", /*half_close=*/true), "");
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(http_get(server.port(), "/ping").find("HTTP/1.1 200"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(Http, HardeningKnobsRejectMisuse) {
+  HttpServer server;
+  EXPECT_THROW(server.set_max_request_bytes(8), Error);  // below floor
+  server.start(0);
+  EXPECT_THROW(server.set_read_timeout(1.0), Error);       // while running
+  EXPECT_THROW(server.set_max_request_bytes(4096), Error);  // while running
+  server.stop();
+}
+
 // --- frame tickets and flow propagation --------------------------------------
 
 TEST(FrameTicket, MintedUniqueAndScopedPerThread) {

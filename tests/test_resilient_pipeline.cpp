@@ -295,6 +295,61 @@ TEST(ResilientPipeline, RejectsInvalidResilienceConfig) {
   res = ResilienceConfig{};
   res.weight_drift_tolerance = 0.0;
   EXPECT_THROW((ResilientPipeline<double>{gpu_config(), res}), Error);
+  res = ResilienceConfig{};
+  res.frame_deadline_seconds = -0.5;
+  EXPECT_THROW((ResilientPipeline<double>{gpu_config(), res}), Error);
+}
+
+TEST(ResilientPipeline, FrameDeadlineCapsRetryBackoffPerFrame) {
+  // Permanent launch failure with a deep retry budget: without a deadline
+  // every frame walks the whole exponential ladder; with one, the frame is
+  // abandoned as soon as the next delay would blow the cap. The stream keeps
+  // delivering (salvaged masks) instead of stalling on a sick device.
+  FaultConfig faults;
+  faults.launch_fault_prob = 1.0;
+  ResilienceConfig res;
+  res.retry.max_attempts = 8;
+  res.degrade_after_failures = 50;  // keep the ladder out of the picture
+
+  constexpr int kFrames = 6;
+  const RunResult unlimited = run(faults, res, kFrames);
+  EXPECT_EQ(unlimited.stats.deadline_exceeded, 0u);
+  // All 7 retries per frame: backoff 1+2+4+8+16+32+64 ms.
+  EXPECT_EQ(unlimited.stats.retries, static_cast<std::uint64_t>(7 * kFrames));
+  EXPECT_NEAR(unlimited.stats.backoff_seconds, kFrames * 127e-3, 1e-9);
+
+  res.frame_deadline_seconds = 4e-3;
+  const RunResult capped = run(faults, res, kFrames);
+  // Retries 1 (1 ms) and 2 (2 ms) fit under 4 ms; retry 3 (4 ms) would
+  // accumulate 7 ms and is cut off.
+  EXPECT_EQ(capped.stats.deadline_exceeded,
+            static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(capped.stats.retries, static_cast<std::uint64_t>(2 * kFrames));
+  EXPECT_NEAR(capped.stats.backoff_seconds, kFrames * 3e-3, 1e-9);
+  EXPECT_LT(capped.stats.backoff_seconds, unlimited.stats.backoff_seconds);
+
+  // Abandoning early must not cost delivery: both runs produce a mask per
+  // frame (salvaged), and the capped run replays deterministically.
+  EXPECT_EQ(capped.masks.size(), unlimited.masks.size());
+  const RunResult replay = run(faults, res, kFrames);
+  EXPECT_EQ(replay.stats, capped.stats);
+}
+
+TEST(ResilientPipeline, FrameDeadlineStillAllowsRecoveryWithinBudget) {
+  // A deadline generous enough for the whole ladder changes nothing: same
+  // recovery path, same masks as the unlimited run under transient faults.
+  FaultConfig faults;
+  faults.seed = 77;
+  faults.upload_fault_prob = 0.05;
+  faults.download_fault_prob = 0.05;
+  ResilienceConfig res;
+  const RunResult unlimited = run(faults, res, 80);
+  res.frame_deadline_seconds = 10.0;
+  const RunResult generous = run(faults, res, 80);
+  EXPECT_EQ(generous.stats, unlimited.stats);
+  ASSERT_EQ(generous.masks.size(), unlimited.masks.size());
+  for (std::size_t i = 0; i < generous.masks.size(); ++i)
+    ASSERT_EQ(generous.masks[i], unlimited.masks[i]) << "mask " << i;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // pipelines, modeled device-time sharing, and thread-safe submission.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "mog/fault/fault_injector.hpp"
 #include "mog/gpusim/transfer_model.hpp"
 #include "mog/pipeline/gpu_pipeline.hpp"
+#include "mog/serve/frame_queue.hpp"
 #include "mog/serve/stream_server.hpp"
 #include "mog/telemetry/telemetry.hpp"
 #include "mog/video/scene.hpp"
@@ -205,6 +207,67 @@ TEST(StreamServer, DropOldestEvictsStaleFrames) {
   for (int t = 2; t < 4; ++t) {
     solo.process(scene.frame(t), fg);
     EXPECT_EQ(served[static_cast<std::size_t>(t - 2)], fg);
+  }
+}
+
+// Hammer one BoundedFrameQueue from several producer threads while a consumer
+// drains it, under each drop policy. However the races interleave, the
+// QueueStats conservation laws must hold exactly — no frame may be double
+// counted or vanish unaccounted.
+TEST(BoundedFrameQueue, ConcurrentProducersPreserveStatsConservation) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 400;
+  constexpr std::size_t kDepth = 8;
+
+  for (const DropPolicy policy :
+       {DropPolicy::kDropNewest, DropPolicy::kDropOldest}) {
+    SCOPED_TRACE(serve::to_string(policy));
+    serve::BoundedFrameQueue queue{kDepth, policy};
+
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> popped{0};
+    std::atomic<int> producers_left{kProducers};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const FrameU8 frame(4, 4, static_cast<std::uint8_t>(p));
+          if (!queue.push(frame, 1e-3 * i)) refused.fetch_add(1);
+        }
+        producers_left.fetch_sub(1);
+      });
+    }
+    std::thread consumer([&] {
+      serve::QueuedFrame out;
+      while (producers_left.load() > 0 || !queue.empty()) {
+        if (queue.pop(out))
+          popped.fetch_add(1);
+        else
+          std::this_thread::yield();
+      }
+    });
+    for (std::thread& t : producers) t.join();
+    consumer.join();
+
+    const QueueStats q = queue.stats();
+    EXPECT_EQ(q.submitted,
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_LE(q.high_water, kDepth);
+    EXPECT_EQ(q.popped, popped.load());
+    if (policy == DropPolicy::kDropNewest) {
+      // Tail drop: push() returning false is the only loss path.
+      EXPECT_EQ(q.dropped, refused.load());
+      EXPECT_EQ(q.submitted, q.accepted + q.dropped);
+      EXPECT_EQ(q.accepted, q.popped + queue.size());
+    } else {
+      // Head drop: every push admitted; evictions are the only loss path.
+      EXPECT_EQ(refused.load(), 0u);
+      EXPECT_EQ(q.accepted, q.submitted);
+      EXPECT_EQ(q.accepted, q.popped + q.dropped + queue.size());
+    }
+    // The consumer only exits once producers stopped and the queue read
+    // empty; anything still queued would be a conservation bug.
+    EXPECT_EQ(queue.size(), 0u);
   }
 }
 
