@@ -1,0 +1,175 @@
+// Ingestion front-end decode throughput: Y4M plane extraction and baseline
+// JPEG entropy-decode + IDCT, measured over fixture streams encoded from the
+// deterministic synthetic scene.
+//
+// The gated metrics are deterministic by construction: the encoder and
+// decoder share a literal-constant DCT basis (no std::cos), so compressed
+// byte counts and reconstruction error are bit-stable across hosts and libm
+// versions. Wall-clock throughput (decode fps, MB/s) is reported under the
+// "wall_" prefix, which bench_gate ignores — decode speed is a property of
+// the runner, not the model.
+#include "bench_util.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "mog/ingest/jpeg.hpp"
+#include "mog/ingest/mjpeg.hpp"
+#include "mog/ingest/y4m.hpp"
+#include "mog/video/scene.hpp"
+
+namespace mog::bench {
+namespace {
+
+struct IngestResult {
+  std::string codec;
+  int frames = 0;
+  double compressed_bytes = 0;
+  double raw_bytes = 0;
+  double max_abs_err = 0;
+  double wall_decode_ms = 0;
+};
+
+std::vector<IngestResult>& ingest_results() {
+  static std::vector<IngestResult> r;
+  return r;
+}
+
+std::vector<FrameU8> scene_frames(const ExperimentConfig& cfg) {
+  SceneConfig sc;
+  sc.width = cfg.width;
+  sc.height = cfg.height;
+  sc.seed = 7;
+  SyntheticScene scene{sc};
+  std::vector<FrameU8> out;
+  for (int t = 0; t < cfg.frames; ++t) out.push_back(scene.frame(t));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_y4m_mem(const std::vector<FrameU8>& frames,
+                                         ingest::Y4mColorspace cs) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mog_bench_ingest.y4m")
+          .string();
+  ingest::Y4mHeader h;
+  h.width = frames.front().width();
+  h.height = frames.front().height();
+  h.colorspace = cs;
+  ingest::Y4mWriter w{path, h};
+  for (const FrameU8& f : frames) w.append(f);
+  w.close();
+  std::ifstream in{path, std::ios::binary};
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  std::remove(path.c_str());
+  return bytes;
+}
+
+void record(benchmark::State& state, const std::string& name,
+            const std::vector<FrameU8>& src, const IngestResult& r) {
+  const double raw = static_cast<double>(src.size()) *
+                     static_cast<double>(src.front().size());
+  state.counters["frames"] = r.frames;
+  state.counters["wall_decode_fps"] =
+      r.wall_decode_ms > 0 ? 1e3 * r.frames / r.wall_decode_ms : 0;
+  state.counters["max_abs_err"] = r.max_abs_err;
+
+  reporter()
+      .add_case(name)
+      .metric("frames", r.frames)
+      .metric("compressed_bytes", r.compressed_bytes)
+      .metric("compression_ratio", raw / r.compressed_bytes)
+      .metric("max_abs_err", r.max_abs_err)
+      .metric("wall_decode_ms", r.wall_decode_ms)
+      .metric("wall_decode_fps",
+              r.wall_decode_ms > 0 ? 1e3 * r.frames / r.wall_decode_ms : 0)
+      .metric("wall_decode_mb_s",
+              r.wall_decode_ms > 0
+                  ? r.compressed_bytes / 1e3 / r.wall_decode_ms
+                  : 0);
+  ingest_results().push_back(r);
+}
+
+double max_err(const std::vector<FrameU8>& a, const std::vector<FrameU8>& b) {
+  double m = 0;
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t i = 0; i < a[t].size(); ++i)
+      m = std::max(m, std::abs(static_cast<double>(a[t][i]) - b[t][i]));
+  return m;
+}
+
+void y4m_decode(benchmark::State& state) {
+  const bool mono = state.range(0) == 0;
+  const ExperimentConfig base = base_config();
+  const std::vector<FrameU8> src = scene_frames(base);
+  const std::vector<std::uint8_t> stream = encode_y4m_mem(
+      src, mono ? ingest::Y4mColorspace::kMono : ingest::Y4mColorspace::k420);
+
+  IngestResult r;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const std::vector<FrameU8> decoded = ingest::decode_y4m(stream);
+    r.codec = mono ? "y4m_mono" : "y4m_420";
+    r.frames = static_cast<int>(decoded.size());
+    r.compressed_bytes = static_cast<double>(stream.size());
+    r.max_abs_err = max_err(src, decoded);  // Y4M is lossless: must be 0
+  }
+  r.wall_decode_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  record(state, r.codec, src, r);
+}
+BENCHMARK(y4m_decode)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void mjpeg_decode(benchmark::State& state) {
+  const int quality = static_cast<int>(state.range(0));
+  const ExperimentConfig base = base_config();
+  const std::vector<FrameU8> src = scene_frames(base);
+  ingest::JpegEncodeConfig cfg;
+  cfg.quality = quality;
+  const std::vector<std::uint8_t> stream = ingest::encode_mjpeg(src, cfg);
+
+  IngestResult r;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::vector<FrameU8> decoded;
+    ingest::MjpegReader reader{
+        std::make_unique<ingest::MemorySource>(stream)};
+    FrameU8 f;
+    while (reader.next(f)) decoded.push_back(f);
+    r.codec = "mjpeg_q" + std::to_string(quality);
+    r.frames = static_cast<int>(decoded.size());
+    r.compressed_bytes = static_cast<double>(stream.size());
+    r.max_abs_err = max_err(src, decoded);
+  }
+  r.wall_decode_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  record(state, r.codec, src, r);
+}
+BENCHMARK(mjpeg_decode)->Arg(50)->Arg(90)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_ingest_table() {
+  std::printf("\ndecode throughput (%s)\n",
+              "wall-clock; gated metrics are the deterministic ones");
+  std::printf("  %-10s %7s %12s %12s %10s %12s\n", "codec", "frames",
+              "compressed", "max_abs_err", "decode_ms", "decode_fps");
+  for (const IngestResult& r : ingest_results())
+    std::printf("  %-10s %7d %12.0f %12.1f %10.2f %12.1f\n", r.codec.c_str(),
+                r.frames, r.compressed_bytes, r.max_abs_err,
+                r.wall_decode_ms,
+                r.wall_decode_ms > 0 ? 1e3 * r.frames / r.wall_decode_ms : 0);
+}
+
+void epilogue() {
+  const ExperimentConfig base = base_config();
+  reporter().set_workload(base.width, base.height, base.frames);
+  print_ingest_table();
+}
+
+}  // namespace
+}  // namespace mog::bench
+
+MOG_BENCH_MAIN("ingest", ::mog::bench::epilogue)

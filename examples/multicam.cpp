@@ -9,10 +9,19 @@
 //                         [--depth N] [--drop newest|oldest] [--tiled G]
 //                         [--fail-device IDX] [--fail-at-frame T]
 //                         [--obs-port P] [--hold-seconds S]
+//                         [--y4m FILE | --mjpeg FILE]
 //
 // Cameras submit frames at a 30 fps arrival cadence. With a shallow queue
 // (--depth 2) and many streams you can watch the drop counters engage; with
 // --tiled G each stream batches G frames per kernel launch (§IV-D).
+//
+// --y4m FILE / --mjpeg FILE replace the synthetic cameras with the encoded
+// ingestion front end: every stream gets its own ingest::DecodeWorker
+// reading FILE (Y4M container or concatenated baseline-JPEG parts), decoding
+// off the pump thread, and submitting into the fleet with a pre-minted trace
+// ticket — so a --trace timeline shows the decode span as the first hop of
+// each frame's flow chain. Frame dimensions come from the file header;
+// --frames caps the frames pulled per stream.
 //
 // --fail-device IDX declares device IDX lost mid-run (at --fail-at-frame T,
 // default half the frame budget): its streams checkpoint their MoG models,
@@ -32,6 +41,7 @@
 // the synchronous drain() path (tests/test_cluster.cpp, bench_serve).
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,7 +49,11 @@
 #include "mog/cluster/device_fleet.hpp"
 #include "mog/common/error.hpp"
 #include "mog/common/strutil.hpp"
+#include "mog/ingest/decode_worker.hpp"
+#include "mog/ingest/mjpeg.hpp"
+#include "mog/ingest/y4m.hpp"
 #include "mog/obs/log.hpp"
+#include "mog/telemetry/telemetry.hpp"
 #include "mog/video/scene.hpp"
 
 namespace {
@@ -51,8 +65,50 @@ namespace {
                "                [--depth N] [--drop newest|oldest]\n"
                "                [--tiled G] [--fail-device IDX]\n"
                "                [--fail-at-frame T] [--obs-port P]\n"
-               "                [--hold-seconds S]\n");
+               "                [--hold-seconds S] [--trace FILE]\n"
+               "                [--y4m FILE | --mjpeg FILE]\n");
   std::exit(2);
+}
+
+// Open a fresh FrameReader over the ingest file (one per stream: each
+// DecodeWorker owns its own cursor into the same bytes).
+std::unique_ptr<mog::ingest::FrameReader> open_reader(
+    const std::string& y4m_path, const std::string& mjpeg_path) {
+  if (!y4m_path.empty())
+    return std::make_unique<mog::ingest::Y4mReader>(
+        std::make_unique<mog::ingest::FileSource>(y4m_path));
+  return std::make_unique<mog::ingest::MjpegReader>(
+      std::make_unique<mog::ingest::FileSource>(mjpeg_path));
+}
+
+// Frame geometry and cadence of the encoded stream: Y4M carries both in its
+// header; MJPEG parts carry geometry in their SOF0 (cadence is modeled).
+struct ProbedStream {
+  int width = 0;
+  int height = 0;
+  double fps = 30.0;
+};
+
+ProbedStream probe_ingest(const std::string& y4m_path,
+                          const std::string& mjpeg_path) {
+  ProbedStream p;
+  if (!y4m_path.empty()) {
+    const mog::ingest::Y4mReader reader{
+        std::make_unique<mog::ingest::FileSource>(y4m_path)};
+    p.width = reader.header().width;
+    p.height = reader.header().height;
+    p.fps = reader.header().fps();
+  } else {
+    mog::ingest::MjpegReader reader{
+        std::make_unique<mog::ingest::FileSource>(mjpeg_path)};
+    mog::FrameU8 first;
+    if (!reader.next(first))
+      throw mog::ingest::IngestError{mog::ingest::IngestErrorKind::kTruncated,
+                                     "MJPEG file holds no frames"};
+    p.width = first.width();
+    p.height = first.height();
+  }
+  return p;
 }
 
 }  // namespace
@@ -67,6 +123,9 @@ int main(int argc, char** argv) try {
   int fail_at_frame = -1;  // -1 = half the frame budget
   int obs_port = -1;       // -1 = observability endpoints off
   int hold_seconds = 0;    // keep the endpoints up after the run
+  std::string y4m_path;    // encoded ingestion instead of synthetic scenes
+  std::string mjpeg_path;
+  std::string trace_path;  // Chrome trace dump (decode spans + flow chains)
   mog::serve::DropPolicy drop = mog::serve::DropPolicy::kDropNewest;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +156,12 @@ int main(int argc, char** argv) try {
       else if (arg == "--hold-seconds")
         hold_seconds =
             mog::parse_int(need("--hold-seconds"), 0, 3600, "--hold-seconds");
+      else if (arg == "--y4m")
+        y4m_path = need("--y4m");
+      else if (arg == "--mjpeg")
+        mjpeg_path = need("--mjpeg");
+      else if (arg == "--trace")
+        trace_path = need("--trace");
       else if (arg == "--drop") {
         const std::string v = need("--drop");
         if (v == "newest")
@@ -117,6 +182,12 @@ int main(int argc, char** argv) try {
   if (fail_device >= 0 && devices < 2)
     usage("--fail-device needs at least 2 devices to fail over to");
   if (fail_at_frame < 0) fail_at_frame = frames / 2;
+  if (!y4m_path.empty() && !mjpeg_path.empty())
+    usage("--y4m and --mjpeg are mutually exclusive");
+  const bool ingest_mode = !y4m_path.empty() || !mjpeg_path.empty();
+
+  mog::telemetry::TraceRecorder trace;
+  if (!trace_path.empty()) mog::telemetry::set_tracer(&trace);
 
   // With the observability plane on, mirror the fleet's structured logs to
   // stderr; the sink is unowned, so it must outlive the fleet below.
@@ -142,16 +213,24 @@ int main(int argc, char** argv) try {
       mog::SceneConfig::waving_trees(192, 108),
   };
 
+  ProbedStream probed;
+  if (ingest_mode) {
+    probed = probe_ingest(y4m_path, mjpeg_path);
+    std::printf("ingest: %s %dx%d @ %.1f fps x%d streams\n",
+                !y4m_path.empty() ? y4m_path.c_str() : mjpeg_path.c_str(),
+                probed.width, probed.height, probed.fps, streams);
+  }
+
   std::vector<mog::SyntheticScene> scenes;
   std::vector<int> ids;
   for (int s = 0; s < streams; ++s) {
     mog::SceneConfig sc = presets[static_cast<std::size_t>(s) % 3];
     sc.seed += static_cast<std::uint64_t>(s);
-    scenes.emplace_back(sc);
+    if (!ingest_mode) scenes.emplace_back(sc);
 
     mog::cluster::DeviceFleet<float>::GpuConfig gpu;
-    gpu.width = sc.width;
-    gpu.height = sc.height;
+    gpu.width = ingest_mode ? probed.width : sc.width;
+    gpu.height = ingest_mode ? probed.height : sc.height;
     if (tiled_group > 0) {
       gpu.tiled = true;
       gpu.tiled_config.frame_group = tiled_group;
@@ -159,21 +238,79 @@ int main(int argc, char** argv) try {
     ids.push_back(fleet.open_stream(gpu, nullptr, "cam" + std::to_string(s)));
   }
 
-  // 30 fps cameras: camera s delivers frame t at t/30 s (staggered a little
-  // so arrivals don't tie). Each device's background worker drains its queues
-  // as the modeled hardware allows; a shallow --depth makes the drop policy
-  // visible.
   fleet.start();
-  for (int t = 0; t < frames; ++t) {
-    if (fail_device >= 0 && t == fail_at_frame) {
-      std::printf("failing device %d at frame %d: streams migrate live\n",
-                  fail_device, t);
-      fleet.fail_device(fail_device);
+  if (ingest_mode) {
+    // Encoded ingestion: one DecodeWorker per stream, each with its own
+    // cursor into the file. Decode happens on the worker threads — never the
+    // pump thread — and every frame enters the fleet with the pre-minted
+    // ticket whose flow chain began at the decode span. The --fail-device
+    // injection still applies: it is driven off stream 0's progress.
+    std::vector<std::unique_ptr<mog::ingest::DecodeWorker>> workers;
+    for (int s = 0; s < streams; ++s) {
+      const int id = ids[static_cast<std::size_t>(s)];
+      const double stagger = s * 1e-4;
+      mog::ingest::DecodeWorkerConfig wc;
+      wc.fps = probed.fps;
+      wc.max_frames = static_cast<std::uint64_t>(frames);
+      wc.stream_id = id;
+      workers.push_back(std::make_unique<mog::ingest::DecodeWorker>(
+          open_reader(y4m_path, mjpeg_path),
+          [&fleet, id, stagger](mog::FrameU8 frame, double arrival,
+                                std::uint64_t ticket) {
+            return fleet.submit(id, std::move(frame), arrival + stagger,
+                                ticket);
+          },
+          wc));
     }
-    for (int s = 0; s < streams; ++s)
-      fleet.submit(ids[static_cast<std::size_t>(s)],
-                   scenes[static_cast<std::size_t>(s)].frame(t),
-                   t / 30.0 + s * 1e-4);
+    std::unique_ptr<std::thread> failer;
+    if (fail_device >= 0)
+      failer = std::make_unique<std::thread>([&] {
+        // Fail the device roughly when the cameras reach --fail-at-frame.
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            0.02 * fail_at_frame));
+        std::printf("failing device %d: streams migrate live\n", fail_device);
+        fleet.fail_device(fail_device);
+      });
+    for (auto& w : workers) w->start();
+    for (auto& w : workers) w->join();
+    if (failer) failer->join();
+    mog::ingest::DecodeStats total;
+    for (auto& w : workers) {
+      if (w->failed())
+        std::fprintf(stderr, "multicam: ingest error: %s\n",
+                     w->error().c_str());
+      const mog::ingest::DecodeStats st = w->stats();
+      total.frames_decoded += st.frames_decoded;
+      total.frames_rejected += st.frames_rejected;
+      total.bytes_consumed += st.bytes_consumed;
+      total.decode_seconds += st.decode_seconds;
+    }
+    std::printf(
+        "ingest: decoded %llu frames (%llu rejected at ingress) from %llu "
+        "compressed bytes in %.3f s decode time (%.1f fps/worker)\n",
+        static_cast<unsigned long long>(total.frames_decoded),
+        static_cast<unsigned long long>(total.frames_rejected),
+        static_cast<unsigned long long>(total.bytes_consumed),
+        total.decode_seconds,
+        total.decode_seconds > 0
+            ? static_cast<double>(total.frames_decoded) / total.decode_seconds
+            : 0.0);
+  } else {
+    // 30 fps cameras: camera s delivers frame t at t/30 s (staggered a
+    // little so arrivals don't tie). Each device's background worker drains
+    // its queues as the modeled hardware allows; a shallow --depth makes the
+    // drop policy visible.
+    for (int t = 0; t < frames; ++t) {
+      if (fail_device >= 0 && t == fail_at_frame) {
+        std::printf("failing device %d at frame %d: streams migrate live\n",
+                    fail_device, t);
+        fleet.fail_device(fail_device);
+      }
+      for (int s = 0; s < streams; ++s)
+        fleet.submit(ids[static_cast<std::size_t>(s)],
+                     scenes[static_cast<std::size_t>(s)].frame(t),
+                     t / 30.0 + s * 1e-4);
+    }
   }
   fleet.stop();
   fleet.drain();
@@ -195,6 +332,12 @@ int main(int argc, char** argv) try {
     std::printf("holding %d s for scrapers...\n", hold_seconds);
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::seconds(hold_seconds));
+  }
+  if (!trace_path.empty()) {
+    mog::telemetry::set_tracer(nullptr);
+    trace.write(trace_path);
+    std::printf("trace: %zu events -> %s (chrome://tracing)\n", trace.size(),
+                trace_path.c_str());
   }
   if (obs_port >= 0) mog::obs::default_logger().remove_sink(&log_sink);
   return 0;

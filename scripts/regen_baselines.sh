@@ -20,7 +20,7 @@ export MOG_BENCH_HEIGHT=108
 export MOG_BENCH_FRAMES=12
 export MOG_BENCH_REPORT_DIR="$repo_root/bench/baselines"
 
-for bench in bench_fig8_speedup bench_fig10_tiled bench_serve; do
+for bench in bench_fig8_speedup bench_fig10_tiled bench_serve bench_ingest; do
   echo "== $bench =="
   "$build_dir/bench/$bench" > /dev/null
 done

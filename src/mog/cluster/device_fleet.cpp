@@ -175,14 +175,15 @@ void DeviceFleet<T>::close_stream(int id) {
 }
 
 template <typename T>
-bool DeviceFleet<T>::submit(int id, FrameU8 frame, double arrival_seconds) {
+bool DeviceFleet<T>::submit(int id, FrameU8 frame, double arrival_seconds,
+                            std::uint64_t ticket) {
   // Hold the fleet lock through the member call so the stream cannot be
   // mid-migration between the routing decision and the enqueue.
   std::lock_guard<std::mutex> lock(mu_);
   StreamRec& rec = rec_at(id);
   MOG_CHECK(rec.open, "submit to a closed stream");
   return nodes_[static_cast<std::size_t>(rec.device)].server->submit(
-      rec.local_id, std::move(frame), arrival_seconds);
+      rec.local_id, std::move(frame), arrival_seconds, ticket);
 }
 
 template <typename T>

@@ -136,8 +136,11 @@ class DeviceFleet {
   void close_stream(int id);
 
   /// Offer one frame to stream `id`. Thread-safe; routes to the stream's
-  /// current device (atomically with respect to migration).
-  bool submit(int id, FrameU8 frame, double arrival_seconds = 0);
+  /// current device (atomically with respect to migration). A nonzero
+  /// `ticket` is a pre-minted obs trace ticket from a decode front end
+  /// (see StreamServer::submit).
+  bool submit(int id, FrameU8 frame, double arrival_seconds = 0,
+              std::uint64_t ticket = 0);
 
   /// Pump every device one round, then supervise: charge degradation
   /// strikes, declare lost devices, migrate their streams. Returns frames

@@ -1,0 +1,159 @@
+// Pull-based encoded-byte sources feeding the ingest decoders.
+//
+// A ByteSource is the seam between "where encoded video comes from" (a file,
+// a memory buffer, eventually a socket) and the parsers, which only ever see
+// bytes. ByteReader adds the small buffered-cursor vocabulary the parsers
+// share — peek/get/read_exact/read_line — plus a running consumed-byte
+// count
+// so decode telemetry can report compressed throughput.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mog/ingest/ingest_error.hpp"
+
+namespace mog::ingest {
+
+/// Abstract pull source. read() fills up to `max` bytes and returns the
+/// count; 0 means end of stream. Implementations throw IngestError
+/// (kTruncated) only for genuine I/O failure, not for clean EOF.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual std::size_t read(std::uint8_t* dst, std::size_t max) = 0;
+};
+
+/// In-memory source over an owned buffer (tests, fuzzers, MJPEG splits).
+class MemorySource : public ByteSource {
+ public:
+  explicit MemorySource(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::size_t read(std::uint8_t* dst, std::size_t max) override {
+    const std::size_t n = std::min(max, bytes_.size() - pos_);
+    std::copy(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n), dst);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// File-backed source (the multicam --y4m/--mjpeg inputs).
+class FileSource : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path)
+      : path_(path), in_(path, std::ios::binary) {
+    if (!in_)
+      throw IngestError{IngestErrorKind::kTruncated,
+                        "cannot open for reading: " + path};
+  }
+
+  std::size_t read(std::uint8_t* dst, std::size_t max) override {
+    in_.read(reinterpret_cast<char*>(dst),
+             static_cast<std::streamsize>(max));
+    const std::streamsize n = in_.gcount();
+    if (n < 0 || (in_.bad()))
+      throw IngestError{IngestErrorKind::kTruncated, "read failed: " + path_};
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Buffered cursor over a ByteSource: the byte-level vocabulary the Y4M and
+/// MJPEG parsers share. All read_* methods throw kTruncated on premature end
+/// of stream; eof() is only true once the source is exhausted *and* the
+/// buffer is drained.
+class ByteReader {
+ public:
+  explicit ByteReader(std::unique_ptr<ByteSource> source)
+      : source_(std::move(source)) {
+    MOG_CHECK(source_ != nullptr, "ByteReader needs a source");
+  }
+
+  /// Next byte without consuming it; -1 at end of stream.
+  int peek() {
+    if (pos_ == buf_.size() && !fill()) return -1;
+    return buf_[pos_];
+  }
+
+  /// Consume and return the next byte; -1 at end of stream.
+  int get() {
+    const int c = peek();
+    if (c >= 0) {
+      ++pos_;
+      ++consumed_;
+    }
+    return c;
+  }
+
+  /// Read exactly n bytes into dst or throw kTruncated (`what` names the
+  /// structure being read, e.g. "Y4M frame payload").
+  void read_exact(std::uint8_t* dst, std::size_t n, const char* what) {
+    std::size_t done = 0;
+    while (done < n) {
+      if (pos_ == buf_.size() && !fill())
+        throw IngestError{IngestErrorKind::kTruncated,
+                          std::string{what} + " ended after " +
+                              std::to_string(done) + " of " +
+                              std::to_string(n) + " bytes"};
+      const std::size_t take = std::min(n - done, buf_.size() - pos_);
+      std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + take),
+                dst + done);
+      pos_ += take;
+      consumed_ += take;
+      done += take;
+    }
+  }
+
+  /// Read bytes up to (and consuming) '\n', not including it. Throws
+  /// kTruncated at end of stream and kBombCap past `max_len`.
+  std::string read_line(std::size_t max_len, const char* what) {
+    std::string line;
+    while (true) {
+      const int c = get();
+      if (c < 0)
+        throw IngestError{IngestErrorKind::kTruncated,
+                          std::string{what} + " has no terminating newline"};
+      if (c == '\n') return line;
+      if (line.size() >= max_len)
+        throw IngestError{IngestErrorKind::kBombCap,
+                          std::string{what} + " exceeds " +
+                              std::to_string(max_len) + " bytes"};
+      line.push_back(static_cast<char>(c));
+    }
+  }
+
+  bool eof() { return peek() < 0; }
+
+  /// Total bytes consumed through this reader.
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  bool fill() {
+    buf_.resize(kChunk);
+    const std::size_t n = source_->read(buf_.data(), kChunk);
+    buf_.resize(n);
+    pos_ = 0;
+    return n > 0;
+  }
+
+  static constexpr std::size_t kChunk = 64 * 1024;
+  std::unique_ptr<ByteSource> source_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace mog::ingest

@@ -1,0 +1,28 @@
+// Decoder-facing interface of the ingestion front end.
+//
+// A FrameReader turns a stream of encoded bytes into decoded grayscale
+// frames, one next() at a time. Implementations (Y4mReader, MjpegReader)
+// throw IngestError on malformed input and never hand out a partial frame:
+// next() either returns a complete frame, returns false at a clean end of
+// stream, or throws.
+#pragma once
+
+#include <cstdint>
+
+#include "mog/common/image.hpp"
+
+namespace mog::ingest {
+
+class FrameReader {
+ public:
+  virtual ~FrameReader() = default;
+
+  /// Decode the next frame into `out`. Returns false at a clean end of
+  /// stream (out untouched); throws IngestError on malformed input.
+  virtual bool next(FrameU8& out) = 0;
+
+  /// Compressed bytes consumed so far (decode-throughput telemetry).
+  virtual std::uint64_t bytes_consumed() const = 0;
+};
+
+}  // namespace mog::ingest

@@ -1,0 +1,46 @@
+// Typed errors for the encoded-video ingestion front end.
+//
+// Every parser in src/mog/ingest/ converts hostile or broken input into an
+// IngestError carrying a machine-checkable kind — the same discipline as the
+// model loader's ModelIoError hierarchy: callers can branch on kind(), tests
+// can assert the exact failure class, and no decoder ever returns a partial
+// frame alongside an error.
+#pragma once
+
+#include <string>
+
+#include "mog/common/error.hpp"
+
+namespace mog::ingest {
+
+enum class IngestErrorKind {
+  kFormat,      ///< structurally invalid bytes (bad magic, bad marker, ...)
+  kTruncated,   ///< input ended before a complete header/frame
+  kUnsupported, ///< valid but outside the supported baseline subset
+  kBombCap,     ///< header requests implausible geometry / allocation
+};
+
+const char* to_string(IngestErrorKind kind);
+
+class IngestError : public Error {
+ public:
+  IngestError(IngestErrorKind kind, const std::string& what)
+      : Error(std::string{to_string(kind)} + ": " + what), kind_(kind) {}
+
+  IngestErrorKind kind() const { return kind_; }
+
+ private:
+  IngestErrorKind kind_;
+};
+
+inline const char* to_string(IngestErrorKind kind) {
+  switch (kind) {
+    case IngestErrorKind::kFormat: return "ingest format error";
+    case IngestErrorKind::kTruncated: return "ingest truncated input";
+    case IngestErrorKind::kUnsupported: return "ingest unsupported input";
+    case IngestErrorKind::kBombCap: return "ingest bomb cap exceeded";
+  }
+  return "ingest error";
+}
+
+}  // namespace mog::ingest

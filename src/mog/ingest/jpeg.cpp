@@ -1,0 +1,895 @@
+#include "mog/ingest/jpeg.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::ingest {
+namespace {
+
+constexpr int kMaxDimension = 16384;
+constexpr std::size_t kMaxPixels = std::size_t{1} << 28;  // 256 Mpixel
+
+// Zigzag scan position -> natural (row-major) coefficient index.
+constexpr int kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// cos(k*pi/16) for k = 0..8 as literals: the DCT basis must not depend on
+// the host libm (bit-identical decode output is a gated bench metric).
+constexpr double kCos16[9] = {1.0,
+                              0.98078528040323044913,
+                              0.92387953251128675613,
+                              0.83146961230254523708,
+                              0.70710678118654752440,
+                              0.55557023301960222474,
+                              0.38268343236508977173,
+                              0.19509032201612826785,
+                              0.0};
+
+// cos(a*pi/16) for any non-negative integer a, via symmetry.
+constexpr double cos16(int a) {
+  a %= 32;
+  if (a <= 8) return kCos16[a];
+  if (a <= 16) return -kCos16[16 - a];
+  if (a <= 24) return -kCos16[a - 16];
+  return kCos16[32 - a];
+}
+
+// Orthonormal 1-D DCT-II basis row u evaluated at sample x, scaled so that
+// applying it along rows then columns yields the T.81 FDCT (and its exact
+// inverse for the IDCT).
+struct DctBasis {
+  double fwd[8][8];  // fwd[u][x] = alpha(u) * cos((2x+1)u*pi/16)
+  constexpr DctBasis() : fwd{} {
+    for (int u = 0; u < 8; ++u)
+      for (int x = 0; x < 8; ++x)
+        fwd[u][x] = (u == 0 ? kCos16[4] / 2.0 : 0.5) * cos16((2 * x + 1) * u);
+  }
+};
+constexpr DctBasis kDct;
+
+void idct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  for (int y = 0; y < 8; ++y)       // rows: sum over u
+    for (int x = 0; x < 8; ++x) {
+      double s = 0;
+      for (int u = 0; u < 8; ++u) s += kDct.fwd[u][x] * in[y * 8 + u];
+      tmp[y * 8 + x] = s;
+    }
+  for (int x = 0; x < 8; ++x)       // columns: sum over v
+    for (int y = 0; y < 8; ++y) {
+      double s = 0;
+      for (int v = 0; v < 8; ++v) s += kDct.fwd[v][y] * tmp[v * 8 + x];
+      out[y * 8 + x] = s;
+    }
+}
+
+void fdct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  for (int y = 0; y < 8; ++y)
+    for (int u = 0; u < 8; ++u) {
+      double s = 0;
+      for (int x = 0; x < 8; ++x) s += kDct.fwd[u][x] * in[y * 8 + x];
+      tmp[y * 8 + u] = s;
+    }
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v) {
+      double s = 0;
+      for (int y = 0; y < 8; ++y) s += kDct.fwd[v][y] * tmp[y * 8 + u];
+      out[v * 8 + u] = s;
+    }
+}
+
+[[noreturn]] void fail(IngestErrorKind kind, const std::string& msg) {
+  throw IngestError{kind, msg};
+}
+
+// Bounds-checked cursor over the whole JPEG byte span.
+struct Cursor {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  std::uint8_t u8(const char* what) {
+    if (pos >= bytes.size())
+      fail(IngestErrorKind::kTruncated,
+           std::string{"JPEG ended inside "} + what);
+    return bytes[pos++];
+  }
+  int u16(const char* what) {
+    const int hi = u8(what);
+    const int lo = u8(what);
+    return (hi << 8) | lo;
+  }
+  int peek() const { return pos < bytes.size() ? bytes[pos] : -1; }
+  std::size_t remaining() const { return bytes.size() - pos; }
+  void skip(std::size_t n, const char* what) {
+    if (n > remaining())
+      fail(IngestErrorKind::kTruncated,
+           std::string{"JPEG ended inside "} + what);
+    pos += n;
+  }
+};
+
+// Canonical Huffman table (T.81 Annex C construction, F.2.2.3 decode).
+struct HuffTable {
+  bool present = false;
+  int mincode[17] = {};
+  int maxcode[17] = {};
+  int valptr[17] = {};
+  std::vector<std::uint8_t> values;
+
+  void build(const std::uint8_t counts[16], std::vector<std::uint8_t> vals) {
+    values = std::move(vals);
+    int code = 0, k = 0;
+    for (int l = 1; l <= 16; ++l) {
+      const int n = counts[l - 1];
+      valptr[l] = k;
+      mincode[l] = code;
+      code += n;
+      if (code > (1 << l))
+        fail(IngestErrorKind::kFormat, "oversubscribed Huffman table");
+      maxcode[l] = n > 0 ? code - 1 : -1;
+      k += n;
+      code <<= 1;
+    }
+    present = true;
+  }
+};
+
+struct Component {
+  int id = 0;
+  int h = 1, v = 1;   ///< sampling factors
+  int tq = 0;         ///< quant table id
+  int td = 0, ta = 0; ///< DC/AC Huffman table ids (from SOS)
+  std::int32_t dc_pred = 0;
+};
+
+// Entropy-coded-segment bit reader: handles 0xFF00 stuffing, throws on a
+// premature marker, byte-aligns at restart boundaries.
+struct BitReader {
+  Cursor& cur;
+  std::uint8_t byte = 0;
+  int bits_left = 0;
+
+  explicit BitReader(Cursor& c) : cur(c) {}
+
+  int next_bit() {
+    if (bits_left == 0) {
+      std::uint8_t b = cur.u8("entropy-coded data");
+      if (b == 0xFF) {
+        const std::uint8_t n = cur.u8("entropy-coded data");
+        if (n != 0x00)
+          fail(IngestErrorKind::kTruncated,
+               strprintf("entropy-coded data ended early at marker FF%02X",
+                         n));
+      }
+      byte = b;
+      bits_left = 8;
+    }
+    --bits_left;
+    return (byte >> bits_left) & 1;
+  }
+
+  int receive(int s) {
+    int v = 0;
+    for (int i = 0; i < s; ++i) v = (v << 1) | next_bit();
+    return v;
+  }
+
+  void align() { bits_left = 0; }
+};
+
+int extend(int v, int s) {
+  return (s > 0 && v < (1 << (s - 1))) ? v - (1 << s) + 1 : v;
+}
+
+int huff_decode(BitReader& br, const HuffTable& t) {
+  int code = br.next_bit();
+  for (int l = 1; l <= 16; ++l) {
+    if (t.maxcode[l] >= 0 && code <= t.maxcode[l]) {
+      const int idx = t.valptr[l] + code - t.mincode[l];
+      MOG_ASSERT(idx >= 0 && idx < static_cast<int>(t.values.size()),
+                 "Huffman value index out of range");
+      return t.values[static_cast<std::size_t>(idx)];
+    }
+    code = (code << 1) | br.next_bit();
+  }
+  fail(IngestErrorKind::kFormat, "invalid Huffman code in scan data");
+}
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> bytes) : cur_{bytes} {}
+
+  /// Full decode: marker walk, scan, EOI, trailing-garbage check.
+  FrameU8 decode() {
+    walk_markers(/*stop_at_sof=*/false);
+    MOG_ASSERT(scan_done_, "walk_markers returned without a scan");
+    expect_eoi();
+    if (cur_.remaining() != 0)
+      fail(IngestErrorKind::kFormat,
+           strprintf("%zu trailing bytes after EOI", cur_.remaining()));
+    return std::move(luma_);
+  }
+
+  JpegInfo probe() {
+    walk_markers(/*stop_at_sof=*/true);
+    return JpegInfo{width_, height_, ncomp_};
+  }
+
+ private:
+  void walk_markers(bool stop_at_sof) {
+    if (cur_.u8("SOI") != 0xFF || cur_.u8("SOI") != 0xD8)
+      fail(IngestErrorKind::kFormat, "missing SOI marker (not a JPEG)");
+    while (true) {
+      std::uint8_t b = cur_.u8("marker");
+      // 0xFF fill bytes before a marker are legal (B.1.1.2).
+      while (b == 0xFF && cur_.peek() == 0xFF) b = cur_.u8("marker");
+      if (b != 0xFF)
+        fail(IngestErrorKind::kFormat,
+             strprintf("expected a marker, found byte 0x%02X", b));
+      const std::uint8_t m = cur_.u8("marker");
+      switch (m) {
+        case 0xD8:
+          fail(IngestErrorKind::kFormat, "unexpected second SOI");
+        case 0xD9:
+          fail(IngestErrorKind::kFormat, "EOI before any scan data");
+        case 0xC0:
+          read_sof();
+          if (stop_at_sof) return;
+          break;
+        case 0xC4:
+          read_dht();
+          break;
+        case 0xCC:
+          fail(IngestErrorKind::kUnsupported,
+               "arithmetic coding conditioning (DAC)");
+        case 0xC1: case 0xC2: case 0xC3: case 0xC5: case 0xC6: case 0xC7:
+        case 0xC9: case 0xCA: case 0xCB: case 0xCD: case 0xCE: case 0xCF:
+          fail(IngestErrorKind::kUnsupported,
+               strprintf("SOF%d frame (only baseline SOF0 is supported)",
+                         m & 0x0F));
+        case 0xDB:
+          read_dqt();
+          break;
+        case 0xDD: {
+          if (cur_.u16("DRI length") != 4)
+            fail(IngestErrorKind::kFormat, "DRI segment must have length 4");
+          restart_interval_ = cur_.u16("DRI interval");
+          break;
+        }
+        case 0xDA:
+          read_sos_and_scan();
+          return;
+        case 0xFE:
+          skip_segment("COM");
+          break;
+        default:
+          if (m >= 0xE0 && m <= 0xEF) {
+            skip_segment("APPn");
+            break;
+          }
+          fail(IngestErrorKind::kFormat,
+               strprintf("unexpected marker FF%02X in header", m));
+      }
+    }
+  }
+
+  std::size_t segment_end(const char* what) {
+    const int len = cur_.u16(what);
+    if (len < 2) fail(IngestErrorKind::kFormat,
+                      std::string{what} + " segment length < 2");
+    const std::size_t payload = static_cast<std::size_t>(len) - 2;
+    if (payload > cur_.remaining())
+      fail(IngestErrorKind::kTruncated,
+           std::string{"JPEG ended inside "} + what);
+    return cur_.pos + payload;
+  }
+
+  void skip_segment(const char* what) {
+    cur_.pos = segment_end(what);
+  }
+
+  void read_dqt() {
+    const std::size_t end = segment_end("DQT");
+    while (cur_.pos < end) {
+      const std::uint8_t pt = cur_.u8("DQT");
+      const int pq = pt >> 4, tq = pt & 0x0F;
+      if (pq == 1)
+        fail(IngestErrorKind::kUnsupported, "16-bit quantization table");
+      if (pq > 1) fail(IngestErrorKind::kFormat, "bad DQT precision");
+      if (tq > 3) fail(IngestErrorKind::kFormat, "quant table id > 3");
+      for (int k = 0; k < 64; ++k) {
+        const std::uint8_t q = cur_.u8("DQT entries");
+        if (q == 0)
+          fail(IngestErrorKind::kFormat, "zero quantization table entry");
+        qt_[tq][kZigzag[k]] = q;
+      }
+      qt_present_[tq] = true;
+    }
+    if (cur_.pos != end)
+      fail(IngestErrorKind::kFormat, "DQT length does not match its tables");
+  }
+
+  void read_dht() {
+    const std::size_t end = segment_end("DHT");
+    while (cur_.pos < end) {
+      const std::uint8_t tcth = cur_.u8("DHT");
+      const int tc = tcth >> 4, th = tcth & 0x0F;
+      if (tc > 1) fail(IngestErrorKind::kFormat, "Huffman table class > 1");
+      if (th > 3) fail(IngestErrorKind::kFormat, "Huffman table id > 3");
+      std::uint8_t counts[16];
+      std::size_t total = 0;
+      for (auto& c : counts) {
+        c = cur_.u8("DHT code counts");
+        total += c;
+      }
+      if (total == 0 || total > 256)
+        fail(IngestErrorKind::kFormat,
+             strprintf("Huffman table with %zu codes", total));
+      std::vector<std::uint8_t> vals(total);
+      for (auto& v : vals) v = cur_.u8("DHT values");
+      (tc == 0 ? dc_[th] : ac_[th]).build(counts, std::move(vals));
+    }
+    if (cur_.pos != end)
+      fail(IngestErrorKind::kFormat, "DHT length does not match its tables");
+  }
+
+  void read_sof() {
+    if (have_sof_) fail(IngestErrorKind::kFormat, "duplicate SOF");
+    const std::size_t end = segment_end("SOF0");
+    if (cur_.u8("SOF0 precision") != 8)
+      fail(IngestErrorKind::kUnsupported, "sample precision != 8 bits");
+    height_ = cur_.u16("SOF0 height");
+    width_ = cur_.u16("SOF0 width");
+    if (width_ <= 0 || height_ <= 0)
+      fail(IngestErrorKind::kFormat, "zero frame dimensions (DNL streams "
+                                     "are not supported)");
+    if (width_ > kMaxDimension || height_ > kMaxDimension ||
+        static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_) >
+            kMaxPixels)
+      fail(IngestErrorKind::kBombCap,
+           strprintf("implausible JPEG dimensions %dx%d (limit %d per axis, "
+                     "%zu pixels total)",
+                     width_, height_, kMaxDimension, kMaxPixels));
+    ncomp_ = cur_.u8("SOF0 component count");
+    if (ncomp_ == 4)
+      fail(IngestErrorKind::kUnsupported, "4-component (CMYK) JPEG");
+    if (ncomp_ != 1 && ncomp_ != 3)
+      fail(IngestErrorKind::kFormat,
+           strprintf("SOF0 declares %d components", ncomp_));
+    max_h_ = max_v_ = 1;
+    for (int c = 0; c < ncomp_; ++c) {
+      comps_[c].id = cur_.u8("SOF0 component id");
+      const std::uint8_t hv = cur_.u8("SOF0 sampling");
+      comps_[c].h = hv >> 4;
+      comps_[c].v = hv & 0x0F;
+      if (comps_[c].h == 0 || comps_[c].v == 0)
+        fail(IngestErrorKind::kFormat, "zero sampling factor");
+      if (comps_[c].h > 2 || comps_[c].v > 2)
+        fail(IngestErrorKind::kUnsupported,
+             strprintf("sampling factor %dx%d (supported: <= 2)",
+                       comps_[c].h, comps_[c].v));
+      comps_[c].tq = cur_.u8("SOF0 quant selector");
+      if (comps_[c].tq > 3)
+        fail(IngestErrorKind::kFormat, "quant table selector > 3");
+      max_h_ = std::max(max_h_, comps_[c].h);
+      max_v_ = std::max(max_v_, comps_[c].v);
+      for (int p = 0; p < c; ++p)
+        if (comps_[p].id == comps_[c].id)
+          fail(IngestErrorKind::kFormat, "duplicate component id in SOF0");
+    }
+    if (comps_[0].h != max_h_ || comps_[0].v != max_v_)
+      fail(IngestErrorKind::kUnsupported,
+           "luma component is not at maximum sampling");
+    if (cur_.pos != end)
+      fail(IngestErrorKind::kFormat, "SOF0 length does not match its payload");
+    have_sof_ = true;
+  }
+
+  void read_sos_and_scan() {
+    if (!have_sof_)
+      fail(IngestErrorKind::kFormat, "SOS before SOF0");
+    const std::size_t end = segment_end("SOS");
+    const int ns = cur_.u8("SOS component count");
+    if (ns != ncomp_)
+      fail(IngestErrorKind::kUnsupported,
+           strprintf("scan covers %d of %d components (multi-scan streams "
+                     "are not supported)",
+                     ns, ncomp_));
+    for (int s = 0; s < ns; ++s) {
+      const int cs = cur_.u8("SOS component selector");
+      Component* comp = nullptr;
+      for (int c = 0; c < ncomp_; ++c)
+        if (comps_[c].id == cs) comp = &comps_[c];
+      if (comp == nullptr)
+        fail(IngestErrorKind::kFormat,
+             strprintf("scan component id %d not declared in SOF0", cs));
+      const std::uint8_t tdta = cur_.u8("SOS table selectors");
+      comp->td = tdta >> 4;
+      comp->ta = tdta & 0x0F;
+      if (comp->td > 3 || comp->ta > 3)
+        fail(IngestErrorKind::kFormat, "Huffman table selector > 3");
+      if (!dc_[comp->td].present || !ac_[comp->ta].present)
+        fail(IngestErrorKind::kFormat,
+             "scan references an undefined Huffman table");
+      if (!qt_present_[comp->tq])
+        fail(IngestErrorKind::kFormat,
+             "scan references an undefined quantization table");
+    }
+    const int ss = cur_.u8("SOS spectral start");
+    const int se = cur_.u8("SOS spectral end");
+    const int ahal = cur_.u8("SOS approximation");
+    if (ss != 0 || se != 63 || ahal != 0)
+      fail(IngestErrorKind::kFormat,
+           "baseline scan must cover spectral band 0..63 with no "
+           "approximation");
+    if (cur_.pos != end)
+      fail(IngestErrorKind::kFormat, "SOS length does not match its payload");
+    decode_scan();
+    scan_done_ = true;
+  }
+
+  void decode_scan() {
+    luma_ = FrameU8(width_, height_);
+    BitReader br{cur_};
+
+    // Interleaved 3-component scans step in MCUs of max_h x max_v luma
+    // blocks; a single-component scan is non-interleaved and its MCU is one
+    // block (T.81 A.2).
+    const bool interleaved = ncomp_ > 1;
+    const int mcus_x = interleaved
+                           ? (width_ + 8 * max_h_ - 1) / (8 * max_h_)
+                           : (width_ + 7) / 8;
+    const int mcus_y = interleaved
+                           ? (height_ + 8 * max_v_ - 1) / (8 * max_v_)
+                           : (height_ + 7) / 8;
+    const std::int64_t total =
+        static_cast<std::int64_t>(mcus_x) * mcus_y;
+
+    int rst_index = 0;
+    for (std::int64_t m = 0; m < total; ++m) {
+      if (restart_interval_ > 0 && m > 0 && m % restart_interval_ == 0) {
+        sync_restart(br, rst_index);
+        rst_index = (rst_index + 1) & 7;
+      }
+      const int mx = static_cast<int>(m % mcus_x);
+      const int my = static_cast<int>(m / mcus_x);
+      if (!interleaved) {
+        decode_block_to_luma(br, comps_[0], mx, my);
+        continue;
+      }
+      for (int c = 0; c < ncomp_; ++c) {
+        for (int by = 0; by < comps_[c].v; ++by)
+          for (int bx = 0; bx < comps_[c].h; ++bx) {
+            if (c == 0)
+              decode_block_to_luma(br, comps_[0], mx * max_h_ + bx,
+                                   my * max_v_ + by);
+            else
+              decode_block_discard(br, comps_[c]);
+          }
+      }
+    }
+  }
+
+  /// Decode one entropy-coded block into natural-order coefficients.
+  void decode_block(BitReader& br, Component& comp, std::int32_t blk[64]) {
+    std::memset(blk, 0, 64 * sizeof(blk[0]));
+    const int t = huff_decode(br, dc_[comp.td]);
+    if (t > 11)
+      fail(IngestErrorKind::kFormat,
+           strprintf("DC category %d exceeds baseline maximum 11", t));
+    const int diff = t > 0 ? extend(br.receive(t), t) : 0;
+    comp.dc_pred = std::clamp(comp.dc_pred + diff, -(1 << 24), 1 << 24);
+    blk[0] = comp.dc_pred;
+    int k = 1;
+    while (k < 64) {
+      const int rs = huff_decode(br, ac_[comp.ta]);
+      const int r = rs >> 4, s = rs & 0x0F;
+      if (s == 0) {
+        if (rs == 0x00) break;  // EOB
+        if (rs == 0xF0) {       // ZRL
+          k += 16;
+          continue;
+        }
+        fail(IngestErrorKind::kFormat,
+             strprintf("invalid AC run/size symbol 0x%02X", rs));
+      }
+      k += r;
+      if (k > 63)
+        fail(IngestErrorKind::kFormat,
+             "AC coefficient index past the end of the block");
+      blk[kZigzag[k]] = extend(br.receive(s), s);
+      ++k;
+    }
+  }
+
+  /// Block of the luma component at block coordinates (bx, by): dequantize,
+  /// IDCT, level-shift, clip into the output frame.
+  void decode_block_to_luma(BitReader& br, Component& comp, int bx, int by) {
+    std::int32_t blk[64];
+    decode_block(br, comp, blk);
+    double coeff[64], pix[64];
+    const std::uint8_t* qt = qt_[comp.tq];
+    for (int i = 0; i < 64; ++i)
+      coeff[i] = static_cast<double>(blk[i]) * qt[i];
+    idct8x8(coeff, pix);
+    const int x0 = bx * 8, y0 = by * 8;
+    for (int y = 0; y < 8 && y0 + y < height_; ++y)
+      for (int x = 0; x < 8 && x0 + x < width_; ++x)
+        luma_.at(x0 + x, y0 + y) = saturate_u8(pix[y * 8 + x] + 128.0);
+  }
+
+  /// Chroma block: the bitstream must be consumed, the pixels are not.
+  void decode_block_discard(BitReader& br, Component& comp) {
+    std::int32_t blk[64];
+    decode_block(br, comp, blk);
+  }
+
+  void sync_restart(BitReader& br, int expected) {
+    br.align();
+    std::uint8_t b = cur_.u8("restart marker");
+    while (b == 0xFF && cur_.peek() == 0xFF) b = cur_.u8("restart marker");
+    const std::uint8_t m = cur_.u8("restart marker");
+    if (b != 0xFF || m != 0xD0 + expected)
+      fail(IngestErrorKind::kFormat,
+           strprintf("expected restart marker RST%d, found FF%02X", expected,
+                     m));
+    for (int c = 0; c < ncomp_; ++c) comps_[c].dc_pred = 0;
+  }
+
+  void expect_eoi() {
+    std::uint8_t b = cur_.u8("EOI");
+    while (b == 0xFF && cur_.peek() == 0xFF) b = cur_.u8("EOI");
+    const std::uint8_t m = cur_.u8("EOI");
+    if (b != 0xFF || m != 0xD9)
+      fail(IngestErrorKind::kFormat,
+           strprintf("expected EOI after scan data, found FF%02X", m));
+  }
+
+  Cursor cur_;
+  std::uint8_t qt_[4][64] = {};
+  bool qt_present_[4] = {};
+  HuffTable dc_[4], ac_[4];
+  Component comps_[3];
+  int ncomp_ = 0;
+  int width_ = 0, height_ = 0;
+  int max_h_ = 1, max_v_ = 1;
+  int restart_interval_ = 0;
+  bool have_sof_ = false;
+  bool scan_done_ = false;
+  FrameU8 luma_;
+};
+
+// --- encoder -----------------------------------------------------------------
+
+// Annex K.1 luminance quantization table (natural order).
+constexpr std::uint8_t kBaseQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+// Annex K.3 luminance DC table.
+constexpr std::uint8_t kDcCounts[16] = {0, 1, 5, 1, 1, 1, 1, 1,
+                                        1, 0, 0, 0, 0, 0, 0, 0};
+constexpr std::uint8_t kDcValues[12] = {0, 1, 2, 3, 4,  5,
+                                        6, 7, 8, 9, 10, 11};
+
+// Annex K.3 luminance AC table.
+constexpr std::uint8_t kAcCounts[16] = {0, 2, 1, 3, 3, 2, 4, 3,
+                                        5, 5, 4, 4, 0, 0, 1, 0x7D};
+constexpr std::uint8_t kAcValues[162] = {
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
+    0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72,
+    0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3,
+    0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9,
+    0xCA, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4,
+    0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA};
+
+/// Canonical code assignment for an encoder: symbol -> (code, length).
+struct EncodeTable {
+  std::uint16_t code[256] = {};
+  std::uint8_t len[256] = {};
+
+  EncodeTable(const std::uint8_t counts[16], const std::uint8_t* vals,
+              std::size_t nvals) {
+    int c = 0;
+    std::size_t k = 0;
+    for (int l = 1; l <= 16; ++l) {
+      for (int i = 0; i < counts[l - 1]; ++i) {
+        MOG_ASSERT(k < nvals, "Huffman spec count/value mismatch");
+        code[vals[k]] = static_cast<std::uint16_t>(c);
+        len[vals[k]] = static_cast<std::uint8_t>(l);
+        ++c;
+        ++k;
+      }
+      c <<= 1;
+    }
+  }
+};
+
+struct BitWriter {
+  std::vector<std::uint8_t>& out;
+  std::uint32_t acc = 0;
+  int nbits = 0;
+
+  void put(std::uint32_t bits, int n) {
+    acc = (acc << n) | (bits & ((1u << n) - 1));
+    nbits += n;
+    while (nbits >= 8) {
+      const std::uint8_t b =
+          static_cast<std::uint8_t>((acc >> (nbits - 8)) & 0xFF);
+      out.push_back(b);
+      if (b == 0xFF) out.push_back(0x00);  // byte stuffing
+      nbits -= 8;
+    }
+  }
+
+  /// Pad with 1-bits to a byte boundary (B.2.1.1).
+  void flush() {
+    if (nbits > 0) put(0xFF, 8 - nbits);
+  }
+};
+
+void put_u16(std::vector<std::uint8_t>& out, int v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_marker(std::vector<std::uint8_t>& out, std::uint8_t m) {
+  out.push_back(0xFF);
+  out.push_back(m);
+}
+
+int bit_category(int v) {
+  int a = v < 0 ? -v : v, s = 0;
+  while (a != 0) {
+    a >>= 1;
+    ++s;
+  }
+  return s;
+}
+
+class Encoder {
+ public:
+  Encoder(const FrameU8& frame, const JpegEncodeConfig& cfg)
+      : frame_(frame), cfg_(cfg),
+        dc_table_(kDcCounts, kDcValues, sizeof(kDcValues)),
+        ac_table_(kAcCounts, kAcValues, sizeof(kAcValues)) {
+    MOG_CHECK(cfg.quality >= 1 && cfg.quality <= 100,
+              "JPEG quality must be in 1..100");
+    MOG_CHECK(cfg.restart_interval >= 0 && cfg.restart_interval <= 0xFFFF,
+              "restart interval must fit in 16 bits");
+    MOG_CHECK(!frame.empty(), "cannot encode an empty frame");
+    // libjpeg-style quality scaling of the Annex K table.
+    const int sf =
+        cfg.quality < 50 ? 5000 / cfg.quality : 200 - 2 * cfg.quality;
+    for (int i = 0; i < 64; ++i)
+      quant_[i] = static_cast<std::uint8_t>(
+          std::clamp((kBaseQuant[i] * sf + 50) / 100, 1, 255));
+  }
+
+  std::vector<std::uint8_t> encode() {
+    std::vector<std::uint8_t> out;
+    put_marker(out, 0xD8);  // SOI
+    emit_app0(out);
+    emit_dqt(out);
+    emit_sof0(out);
+    emit_dht(out);
+    if (cfg_.restart_interval > 0) {
+      put_marker(out, 0xDD);
+      put_u16(out, 4);
+      put_u16(out, cfg_.restart_interval);
+    }
+    emit_sos(out);
+    emit_scan(out);
+    put_marker(out, 0xD9);  // EOI
+    return out;
+  }
+
+ private:
+  void emit_app0(std::vector<std::uint8_t>& out) {
+    put_marker(out, 0xE0);
+    put_u16(out, 16);
+    const char jfif[5] = {'J', 'F', 'I', 'F', '\0'};
+    out.insert(out.end(), jfif, jfif + 5);
+    out.push_back(1);  // version 1.1
+    out.push_back(1);
+    out.push_back(0);  // no density units
+    put_u16(out, 1);
+    put_u16(out, 1);
+    out.push_back(0);  // no thumbnail
+    out.push_back(0);
+  }
+
+  void emit_dqt(std::vector<std::uint8_t>& out) {
+    put_marker(out, 0xDB);
+    put_u16(out, 2 + 1 + 64);
+    out.push_back(0x00);  // 8-bit, table 0
+    for (int k = 0; k < 64; ++k) out.push_back(quant_[kZigzag[k]]);
+  }
+
+  void emit_sof0(std::vector<std::uint8_t>& out) {
+    const int ncomp = cfg_.ycbcr420 ? 3 : 1;
+    put_marker(out, 0xC0);
+    put_u16(out, 8 + 3 * ncomp);
+    out.push_back(8);  // precision
+    put_u16(out, frame_.height());
+    put_u16(out, frame_.width());
+    out.push_back(static_cast<std::uint8_t>(ncomp));
+    out.push_back(1);  // Y
+    out.push_back(cfg_.ycbcr420 ? 0x22 : 0x11);
+    out.push_back(0);
+    if (cfg_.ycbcr420) {
+      for (std::uint8_t id : {std::uint8_t{2}, std::uint8_t{3}}) {
+        out.push_back(id);
+        out.push_back(0x11);
+        out.push_back(0);  // chroma shares the luminance quant table
+      }
+    }
+  }
+
+  void emit_dht(std::vector<std::uint8_t>& out) {
+    put_marker(out, 0xC4);
+    put_u16(out, 2 + (1 + 16 + sizeof(kDcValues)) +
+                     (1 + 16 + sizeof(kAcValues)));
+    out.push_back(0x00);  // DC table 0
+    out.insert(out.end(), kDcCounts, kDcCounts + 16);
+    out.insert(out.end(), kDcValues, kDcValues + sizeof(kDcValues));
+    out.push_back(0x10);  // AC table 0
+    out.insert(out.end(), kAcCounts, kAcCounts + 16);
+    out.insert(out.end(), kAcValues, kAcValues + sizeof(kAcValues));
+  }
+
+  void emit_sos(std::vector<std::uint8_t>& out) {
+    const int ncomp = cfg_.ycbcr420 ? 3 : 1;
+    put_marker(out, 0xDA);
+    put_u16(out, 6 + 2 * ncomp);
+    out.push_back(static_cast<std::uint8_t>(ncomp));
+    for (int c = 0; c < ncomp; ++c) {
+      out.push_back(static_cast<std::uint8_t>(c + 1));
+      out.push_back(0x00);  // DC/AC table 0
+    }
+    out.push_back(0);   // Ss
+    out.push_back(63);  // Se
+    out.push_back(0);   // Ah/Al
+  }
+
+  /// FDCT + quantize one 8x8 block whose top-left pixel is (x0, y0); pixels
+  /// outside the frame replicate the nearest edge pixel.
+  void quantized_block(int x0, int y0, std::int32_t out_blk[64]) const {
+    double pix[64], coeff[64];
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x) {
+        const int sx = std::min(x0 + x, frame_.width() - 1);
+        const int sy = std::min(y0 + y, frame_.height() - 1);
+        pix[y * 8 + x] = static_cast<double>(frame_.at(sx, sy)) - 128.0;
+      }
+    fdct8x8(pix, coeff);
+    for (int i = 0; i < 64; ++i) {
+      const double q = coeff[i] / quant_[i];
+      out_blk[i] = static_cast<std::int32_t>(q >= 0 ? q + 0.5 : q - 0.5);
+    }
+  }
+
+  void encode_block(BitWriter& bw, const std::int32_t blk[64],
+                    std::int32_t& dc_pred) const {
+    const int diff = blk[0] - dc_pred;
+    dc_pred = blk[0];
+    const int s = bit_category(diff);
+    put_symbol(bw, dc_table_, s);
+    if (s > 0)
+      bw.put(static_cast<std::uint32_t>(diff < 0 ? diff + (1 << s) - 1
+                                                 : diff),
+             s);
+    int run = 0;
+    for (int k = 1; k < 64; ++k) {
+      const std::int32_t v = blk[kZigzag[k]];
+      if (v == 0) {
+        ++run;
+        continue;
+      }
+      while (run > 15) {
+        put_symbol(bw, ac_table_, 0xF0);  // ZRL
+        run -= 16;
+      }
+      const int sz = bit_category(v);
+      MOG_ASSERT(sz <= 10, "AC coefficient out of 8-bit baseline range");
+      put_symbol(bw, ac_table_, (run << 4) | sz);
+      bw.put(static_cast<std::uint32_t>(v < 0 ? v + (1 << sz) - 1 : v), sz);
+      run = 0;
+    }
+    if (run > 0) put_symbol(bw, ac_table_, 0x00);  // EOB
+  }
+
+  /// All-zero coefficient block (the neutral-chroma planes).
+  void encode_zero_block(BitWriter& bw, std::int32_t& dc_pred) const {
+    const int diff = 0 - dc_pred;
+    dc_pred = 0;
+    const int s = bit_category(diff);
+    put_symbol(bw, dc_table_, s);
+    if (s > 0)
+      bw.put(static_cast<std::uint32_t>(diff < 0 ? diff + (1 << s) - 1
+                                                 : diff),
+             s);
+    put_symbol(bw, ac_table_, 0x00);  // EOB
+  }
+
+  static void put_symbol(BitWriter& bw, const EncodeTable& t, int symbol) {
+    MOG_ASSERT(t.len[symbol] > 0, "symbol missing from Huffman table");
+    bw.put(t.code[symbol], t.len[symbol]);
+  }
+
+  void emit_scan(std::vector<std::uint8_t>& out) {
+    BitWriter bw{out};
+    const int w = frame_.width(), h = frame_.height();
+    const int mcu_span = cfg_.ycbcr420 ? 16 : 8;
+    const int mcus_x = (w + mcu_span - 1) / mcu_span;
+    const int mcus_y = (h + mcu_span - 1) / mcu_span;
+    std::int32_t dc_y = 0, dc_cb = 0, dc_cr = 0;
+    int rst_index = 0;
+    std::int64_t m = 0;
+    for (int my = 0; my < mcus_y; ++my)
+      for (int mx = 0; mx < mcus_x; ++mx, ++m) {
+        if (cfg_.restart_interval > 0 && m > 0 &&
+            m % cfg_.restart_interval == 0) {
+          bw.flush();
+          put_marker(out, static_cast<std::uint8_t>(0xD0 + rst_index));
+          rst_index = (rst_index + 1) & 7;
+          dc_y = dc_cb = dc_cr = 0;
+        }
+        std::int32_t blk[64];
+        if (!cfg_.ycbcr420) {
+          quantized_block(mx * 8, my * 8, blk);
+          encode_block(bw, blk, dc_y);
+          continue;
+        }
+        for (int by = 0; by < 2; ++by)
+          for (int bx = 0; bx < 2; ++bx) {
+            quantized_block((mx * 2 + bx) * 8, (my * 2 + by) * 8, blk);
+            encode_block(bw, blk, dc_y);
+          }
+        encode_zero_block(bw, dc_cb);
+        encode_zero_block(bw, dc_cr);
+      }
+    bw.flush();
+  }
+
+  const FrameU8& frame_;
+  JpegEncodeConfig cfg_;
+  std::uint8_t quant_[64] = {};
+  EncodeTable dc_table_;
+  EncodeTable ac_table_;
+};
+
+}  // namespace
+
+FrameU8 decode_jpeg_gray(std::span<const std::uint8_t> bytes) {
+  return Decoder{bytes}.decode();
+}
+
+JpegInfo probe_jpeg(std::span<const std::uint8_t> bytes) {
+  return Decoder{bytes}.probe();
+}
+
+std::vector<std::uint8_t> encode_jpeg_gray(const FrameU8& frame,
+                                           const JpegEncodeConfig& config) {
+  return Encoder{frame, config}.encode();
+}
+
+}  // namespace mog::ingest

@@ -1,0 +1,57 @@
+// Baseline-sequential JPEG (ITU-T T.81) decoder and grayscale encoder.
+//
+// Decoder: a strict SOI → {APPn, COM, DQT, DHT, DRI, SOF0, SOS} → EOI
+// marker
+// walk, canonical Huffman entropy decode with 0xFF00 byte-stuffing and
+// RST0-7 restart markers, dequantization, and a separable 8×8 IDCT. The
+// pipeline consumes grayscale, so only the luma component is reconstructed
+// to pixels; chroma blocks are still entropy-decoded (the bitstream cannot
+// be skipped) and then discarded. Supported subset: 8-bit precision, 1 or 3
+// components, sampling factors ≤ 2 with the luma component at the maximum
+// (covers 4:4:4, 4:2:2, 4:2:0 and grayscale); everything else — progressive
+// (SOF2), arithmetic coding, 12-bit, 16-bit DQT, 4-component CMYK — is a
+// typed kUnsupported, never a crash. The DCT basis uses literal constants
+// (not std::cos), so decode output is bit-deterministic across libm
+// versions — a property the bench baselines gate.
+//
+// Encoder: baseline grayscale (or YCbCr 4:2:0 with neutral chroma) with the
+// Annex K example tables, used to generate golden fixtures and the fuzz
+// seed corpus from synthetic scenes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/ingest/ingest_error.hpp"
+
+namespace mog::ingest {
+
+/// Decode a complete baseline JPEG into a grayscale frame. Throws
+/// IngestError on malformed/unsupported/truncated input and on trailing
+/// garbage after EOI (an MJPEG splitter hands in exact SOI..EOI spans).
+FrameU8 decode_jpeg_gray(std::span<const std::uint8_t> bytes);
+
+/// Geometry probe: walks markers up to SOF0 only (no entropy decode).
+struct JpegInfo {
+  int width = 0;
+  int height = 0;
+  int components = 0;
+};
+JpegInfo probe_jpeg(std::span<const std::uint8_t> bytes);
+
+struct JpegEncodeConfig {
+  int quality = 90;          ///< 1..100, libjpeg-style quant scaling
+  int restart_interval = 0;  ///< MCUs between RSTn markers; 0 = none
+  /// Encode as 3-component YCbCr 4:2:0 with neutral chroma instead of a
+  /// single-component grayscale scan (exercises the interleaved-MCU decode
+  /// path; the decoded grayscale output is identical).
+  bool ycbcr420 = false;
+};
+
+/// Encode a grayscale frame as baseline JPEG.
+std::vector<std::uint8_t> encode_jpeg_gray(const FrameU8& frame,
+                                           const JpegEncodeConfig& config = {});
+
+}  // namespace mog::ingest

@@ -1,0 +1,150 @@
+#include "mog/ingest/mjpeg.hpp"
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::ingest {
+
+namespace {
+
+constexpr std::size_t kChunk = 64 * 1024;
+// A single MJPEG part larger than this is a bomb, not a camera frame: even
+// a pathological 16384x16384 baseline JPEG stays far below it.
+constexpr std::size_t kMaxPartBytes = std::size_t{64} << 20;
+
+}  // namespace
+
+std::optional<std::size_t> find_jpeg_span(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) { return pos + n <= bytes.size(); };
+
+  if (!need(2)) return std::nullopt;
+  if (bytes[0] != 0xFF || bytes[1] != 0xD8)
+    throw IngestError{IngestErrorKind::kFormat,
+                      "MJPEG part does not start with SOI"};
+  pos = 2;
+
+  while (true) {
+    // Marker: optional fill 0xFF bytes, then the marker code.
+    if (!need(1)) return std::nullopt;
+    if (bytes[pos] != 0xFF)
+      throw IngestError{
+          IngestErrorKind::kFormat,
+          strprintf("expected a marker at offset %zu, found byte 0x%02X",
+                    pos, bytes[pos])};
+    while (need(2) && bytes[pos + 1] == 0xFF) ++pos;
+    if (!need(2)) return std::nullopt;
+    const std::uint8_t m = bytes[pos + 1];
+    pos += 2;
+
+    if (m == 0xD9) return pos;                  // EOI: span complete
+    if (m == 0x01 || (m >= 0xD0 && m <= 0xD7))  // standalone markers
+      continue;
+    if (m == 0xD8)
+      throw IngestError{IngestErrorKind::kFormat,
+                        "nested SOI inside an MJPEG part"};
+
+    // Every other marker owns a length-prefixed segment.
+    if (!need(2)) return std::nullopt;
+    const std::size_t len =
+        (static_cast<std::size_t>(bytes[pos]) << 8) | bytes[pos + 1];
+    if (len < 2)
+      throw IngestError{IngestErrorKind::kFormat,
+                        strprintf("marker FF%02X with segment length %zu", m,
+                                  len)};
+    if (pos + len > bytes.size()) return std::nullopt;
+    pos += len;
+
+    if (m != 0xDA) continue;
+
+    // Entropy-coded data after SOS: runs until a marker that is neither a
+    // stuffed 0x00 nor a restart. (EOI bytes inside header segments never
+    // reach this scanner — they were length-skipped above.)
+    while (true) {
+      if (!need(1)) return std::nullopt;
+      if (bytes[pos] != 0xFF) {
+        ++pos;
+        continue;
+      }
+      if (!need(2)) return std::nullopt;
+      const std::uint8_t em = bytes[pos + 1];
+      if (em == 0x00 || (em >= 0xD0 && em <= 0xD7)) {
+        pos += 2;
+        continue;
+      }
+      if (em == 0xD9) return pos + 2;
+      break;  // another structural marker (DNL, next scan): outer loop
+    }
+  }
+}
+
+bool MjpegReader::refill() {
+  if (source_eof_) return false;
+  const std::size_t old = buf_.size();
+  buf_.resize(old + kChunk);
+  const std::size_t n = source_->read(buf_.data() + old, kChunk);
+  buf_.resize(old + n);
+  if (n == 0) source_eof_ = true;
+  return n > 0;
+}
+
+bool MjpegReader::next(FrameU8& out) {
+  if (failed_)
+    throw IngestError{IngestErrorKind::kFormat,
+                      "MJPEG reader already failed; stream position is lost"};
+  failed_ = true;
+
+  // Inter-part padding: cameras pad parts with NUL bytes to alignment.
+  while (true) {
+    while (start_ < buf_.size() && buf_[start_] == 0x00) {
+      ++start_;
+      ++consumed_;
+    }
+    if (start_ < buf_.size()) break;
+    if (!refill()) {
+      failed_ = false;
+      return false;  // clean end of stream
+    }
+  }
+
+  // Grow the buffer until the part's full SOI..EOI span is visible.
+  std::optional<std::size_t> span;
+  while (true) {
+    span = find_jpeg_span(
+        std::span<const std::uint8_t>{buf_}.subspan(start_));
+    if (span.has_value()) break;
+    if (buf_.size() - start_ > kMaxPartBytes)
+      throw IngestError{
+          IngestErrorKind::kBombCap,
+          strprintf("MJPEG part exceeds %zu bytes with no EOI",
+                    kMaxPartBytes)};
+    if (!refill())
+      throw IngestError{IngestErrorKind::kTruncated,
+                        "stream ended inside an MJPEG part"};
+  }
+
+  out = decode_jpeg_gray(
+      std::span<const std::uint8_t>{buf_}.subspan(start_, *span));
+  start_ += *span;
+  consumed_ += *span;
+  // Compact so a long stream does not retain every decoded part.
+  if (start_ > kChunk) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(start_));
+    start_ = 0;
+  }
+  failed_ = false;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_mjpeg(const std::vector<FrameU8>& frames,
+                                       const JpegEncodeConfig& config) {
+  std::vector<std::uint8_t> out;
+  for (const FrameU8& f : frames) {
+    const std::vector<std::uint8_t> part = encode_jpeg_gray(f, config);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace mog::ingest

@@ -1,0 +1,58 @@
+// MJPEG stream splitter: a byte stream of concatenated baseline JPEGs,
+// the wire format of IP-camera `multipart/x-mixed-replace` feeds once the
+// HTTP part headers are stripped.
+//
+// Splitting cannot just search for the next FFD9: EOI's byte pattern may
+// legally appear inside APPn/COM segment payloads. find_jpeg_span() therefore
+// walks the marker structure — length-skipping header segments and scanning
+// entropy-coded data for a non-stuffed, non-restart marker — which is exactly
+// how production decode stacks delimit MJPEG parts. Padding bytes between
+// parts are tolerated (cameras pad to alignment); anything else between
+// frames is a typed kFormat error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/ingest/byte_source.hpp"
+#include "mog/ingest/frame_reader.hpp"
+#include "mog/ingest/jpeg.hpp"
+
+namespace mog::ingest {
+
+/// Length in bytes of the complete JPEG (SOI..EOI inclusive) at the start
+/// of `bytes`, or nullopt when the stream is structurally a JPEG prefix but
+/// more bytes are needed. Throws IngestError when the bytes cannot be a
+/// baseline JPEG at all.
+std::optional<std::size_t> find_jpeg_span(std::span<const std::uint8_t> bytes);
+
+class MjpegReader : public FrameReader {
+ public:
+  explicit MjpegReader(std::unique_ptr<ByteSource> source)
+      : source_(std::move(source)) {
+    MOG_CHECK(source_ != nullptr, "MjpegReader needs a source");
+  }
+
+  bool next(FrameU8& out) override;
+  std::uint64_t bytes_consumed() const override { return consumed_; }
+
+ private:
+  bool refill();
+
+  std::unique_ptr<ByteSource> source_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t start_ = 0;  ///< parse position within buf_
+  std::uint64_t consumed_ = 0;
+  bool source_eof_ = false;
+  bool failed_ = false;
+};
+
+/// Concatenate frames into an MJPEG stream (fixture generation).
+std::vector<std::uint8_t> encode_mjpeg(const std::vector<FrameU8>& frames,
+                                       const JpegEncodeConfig& config = {});
+
+}  // namespace mog::ingest

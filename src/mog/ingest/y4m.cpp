@@ -1,0 +1,242 @@
+#include "mog/ingest/y4m.hpp"
+
+#include "mog/common/strutil.hpp"
+
+namespace mog::ingest {
+
+namespace {
+
+// Same geometry caps as the PGM reader: a hostile header must not drive a
+// multi-gigabyte allocation.
+constexpr int kMaxDimension = 16384;
+constexpr std::size_t kMaxPixels = std::size_t{1} << 28;  // 256 Mpixel
+constexpr std::size_t kMaxHeaderLine = 4096;
+
+// Strict positive decimal parse for header parameters ("W640"). Rejects
+// signs, empty strings, and trailing junk; overflow is a bomb-cap.
+int parse_param_int(const std::string& text, const char* what) {
+  if (text.empty())
+    throw IngestError{IngestErrorKind::kFormat,
+                      std::string{what} + " parameter is empty"};
+  long v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9')
+      throw IngestError{IngestErrorKind::kFormat,
+                        std::string{what} + " parameter is not a number: " +
+                            text};
+    v = v * 10 + (c - '0');
+    if (v > kMaxDimension * 1000L)
+      throw IngestError{IngestErrorKind::kBombCap,
+                        std::string{what} + " parameter overflows: " + text};
+  }
+  return static_cast<int>(v);
+}
+
+std::vector<std::string> split_params(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    std::size_t end = line.find(' ', start);
+    if (end == std::string::npos) end = line.size();
+    if (end > start) out.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Y4mReader::Y4mReader(std::unique_ptr<ByteSource> source)
+    : in_(std::move(source)) {
+  static constexpr char kMagic[] = "YUV4MPEG2";
+  for (const char m : std::string_view{kMagic}) {
+    const int c = in_.get();
+    if (c < 0)
+      throw IngestError{IngestErrorKind::kTruncated,
+                        "stream ended inside the YUV4MPEG2 magic"};
+    if (c != m)
+      throw IngestError{IngestErrorKind::kFormat, "not a YUV4MPEG2 stream"};
+  }
+  const int sep = in_.get();
+  if (sep == '\n') {
+    // Bare magic: no parameters at all — dimensions are mandatory.
+    throw IngestError{IngestErrorKind::kFormat,
+                      "Y4M header carries no parameters"};
+  }
+  if (sep != ' ')
+    throw IngestError{IngestErrorKind::kFormat,
+                      "Y4M magic not followed by a space"};
+
+  const std::string line = in_.read_line(kMaxHeaderLine, "Y4M header");
+  bool have_w = false, have_h = false;
+  for (const std::string& param : split_params(line)) {
+    const char tag = param[0];
+    const std::string value = param.substr(1);
+    switch (tag) {
+      case 'W':
+        header_.width = parse_param_int(value, "Y4M width");
+        have_w = true;
+        break;
+      case 'H':
+        header_.height = parse_param_int(value, "Y4M height");
+        have_h = true;
+        break;
+      case 'F': {
+        const std::size_t colon = value.find(':');
+        if (colon == std::string::npos)
+          throw IngestError{IngestErrorKind::kFormat,
+                            "Y4M frame rate is not num:den: " + param};
+        header_.fps_num =
+            parse_param_int(value.substr(0, colon), "Y4M fps numerator");
+        header_.fps_den =
+            parse_param_int(value.substr(colon + 1), "Y4M fps denominator");
+        if (header_.fps_num <= 0 || header_.fps_den <= 0)
+          throw IngestError{IngestErrorKind::kFormat,
+                            "Y4M frame rate must be positive: " + param};
+        break;
+      }
+      case 'C':
+        if (value == "420" || value == "420jpeg" || value == "420mpeg2")
+          header_.colorspace = Y4mColorspace::k420;
+        else if (value == "mono")
+          header_.colorspace = Y4mColorspace::kMono;
+        else
+          throw IngestError{IngestErrorKind::kUnsupported,
+                            "Y4M colorspace C" + value +
+                                " (supported: C420, C420jpeg, C420mpeg2, "
+                                "Cmono)"};
+        break;
+      case 'I':  // interlacing — grayscale conversion is field-agnostic
+      case 'A':  // pixel aspect ratio
+      case 'X':  // vendor extension
+        break;
+      default:
+        throw IngestError{IngestErrorKind::kFormat,
+                          "unknown Y4M header parameter: " + param};
+    }
+  }
+  if (!have_w || !have_h)
+    throw IngestError{IngestErrorKind::kFormat,
+                      "Y4M header is missing W or H"};
+  if (header_.width <= 0 || header_.height <= 0)
+    throw IngestError{IngestErrorKind::kFormat,
+                      strprintf("Y4M dimensions must be positive (got %dx%d)",
+                                header_.width, header_.height)};
+  if (header_.width > kMaxDimension || header_.height > kMaxDimension ||
+      static_cast<std::size_t>(header_.width) *
+              static_cast<std::size_t>(header_.height) >
+          kMaxPixels)
+    throw IngestError{
+        IngestErrorKind::kBombCap,
+        strprintf("implausible Y4M dimensions %dx%d (limit %d per axis, "
+                  "%zu pixels total)",
+                  header_.width, header_.height, kMaxDimension, kMaxPixels)};
+  if (header_.colorspace == Y4mColorspace::k420 &&
+      (header_.width % 2 != 0 || header_.height % 2 != 0))
+    throw IngestError{
+        IngestErrorKind::kUnsupported,
+        strprintf("C420 needs even dimensions (got %dx%d)", header_.width,
+                  header_.height)};
+}
+
+bool Y4mReader::next(FrameU8& out) {
+  if (failed_)
+    throw IngestError{IngestErrorKind::kFormat,
+                      "Y4M reader already failed; stream position is lost"};
+  if (in_.eof()) return false;
+
+  // "FRAME" literal, optional parameters (ignored), newline.
+  failed_ = true;  // re-armed only on a fully decoded frame
+  static constexpr char kFrame[] = "FRAME";
+  for (const char m : std::string_view{kFrame}) {
+    const int c = in_.get();
+    if (c < 0)
+      throw IngestError{IngestErrorKind::kTruncated,
+                        "stream ended inside a FRAME marker"};
+    if (c != m)
+      throw IngestError{IngestErrorKind::kFormat,
+                        "expected FRAME marker between Y4M frames"};
+  }
+  const int sep = in_.get();
+  if (sep != '\n') {
+    if (sep != ' ')
+      throw IngestError{IngestErrorKind::kFormat,
+                        "FRAME marker not followed by space or newline"};
+    in_.read_line(kMaxHeaderLine, "Y4M FRAME parameters");
+  }
+
+  FrameU8 frame(header_.width, header_.height);
+  in_.read_exact(frame.data(), frame.size(), "Y4M luma plane");
+  if (header_.colorspace == Y4mColorspace::k420) {
+    // Chroma is decoded (consumed) but discarded: the pipeline is grayscale.
+    const std::size_t chroma =
+        static_cast<std::size_t>(header_.width / 2) * (header_.height / 2);
+    chroma_scratch_.resize(chroma);
+    in_.read_exact(chroma_scratch_.data(), chroma, "Y4M Cb plane");
+    in_.read_exact(chroma_scratch_.data(), chroma, "Y4M Cr plane");
+  }
+  out = std::move(frame);
+  failed_ = false;
+  return true;
+}
+
+std::vector<FrameU8> decode_y4m(std::vector<std::uint8_t> bytes,
+                                std::size_t max_frames) {
+  Y4mReader reader{std::make_unique<MemorySource>(std::move(bytes))};
+  std::vector<FrameU8> frames;
+  FrameU8 f;
+  while ((max_frames == 0 || frames.size() < max_frames) && reader.next(f))
+    frames.push_back(std::move(f));
+  return frames;
+}
+
+Y4mWriter::Y4mWriter(const std::string& path, const Y4mHeader& header)
+    : path_(path), out_(path, std::ios::binary), header_(header) {
+  MOG_CHECK(header.width > 0 && header.height > 0,
+            "Y4M writer needs positive dimensions");
+  MOG_CHECK(header.colorspace != Y4mColorspace::k420 ||
+                (header.width % 2 == 0 && header.height % 2 == 0),
+            "C420 needs even dimensions");
+  MOG_CHECK(header.fps_num > 0 && header.fps_den > 0,
+            "Y4M frame rate must be positive");
+  if (!out_) throw Error{"cannot open for writing: " + path};
+  out_ << "YUV4MPEG2 W" << header.width << " H" << header.height << " F"
+       << header.fps_num << ':' << header.fps_den << " Ip A1:1 C"
+       << (header.colorspace == Y4mColorspace::kMono ? "mono" : "420") << '\n';
+  if (!out_) throw Error{"write failed: " + path};
+}
+
+void Y4mWriter::append(const FrameU8& frame) {
+  MOG_CHECK(!closed_, "append to a closed Y4M writer");
+  MOG_CHECK(frame.width() == header_.width &&
+                frame.height() == header_.height,
+            "frame shape does not match the Y4M header");
+  out_ << "FRAME\n";
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (header_.colorspace == Y4mColorspace::k420) {
+    const std::size_t chroma =
+        static_cast<std::size_t>(header_.width / 2) * (header_.height / 2);
+    const std::vector<char> neutral(chroma, static_cast<char>(128));
+    out_.write(neutral.data(), static_cast<std::streamsize>(chroma));
+    out_.write(neutral.data(), static_cast<std::streamsize>(chroma));
+  }
+  if (!out_) throw Error{"write failed: " + path_};
+}
+
+void Y4mWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.close();
+  if (out_.fail()) throw Error{"close failed: " + path_};
+}
+
+Y4mWriter::~Y4mWriter() {
+  try {
+    close();
+  } catch (const Error&) {
+    // Destructors must not throw; callers needing the verdict call close().
+  }
+}
+
+}  // namespace mog::ingest

@@ -1,0 +1,82 @@
+// YUV4MPEG2 (Y4M) stream reader and writer.
+//
+// Y4M is the uncompressed interchange format every decode tool speaks
+// (`ffmpeg -f yuv4mpeg`, mjpegtools): one ASCII header line, then per frame
+// a "FRAME" line followed by raw planes. We support C420 / C420jpeg /
+// C420mpeg2 (identical plane layout; the tags differ only in chroma siting,
+// which grayscale conversion ignores) and Cmono. The pipeline is grayscale,
+// so conversion is plane extraction: the Y plane *is* the frame, chroma is
+// skipped — which also makes the Y4M path bit-lossless, the property the
+// round-trip fidelity tests lean on.
+//
+// All malformed input surfaces as typed IngestError (see ingest_error.hpp);
+// a reader that has thrown stays in a failed state and keeps throwing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mog/common/image.hpp"
+#include "mog/ingest/byte_source.hpp"
+#include "mog/ingest/frame_reader.hpp"
+
+namespace mog::ingest {
+
+enum class Y4mColorspace {
+  k420,      ///< C420, C420jpeg, C420mpeg2 — 4:2:0 planar
+  kMono,     ///< Cmono — luma plane only
+};
+
+struct Y4mHeader {
+  int width = 0;
+  int height = 0;
+  int fps_num = 30;  ///< frame rate as F<num>:<den>; default 30:1
+  int fps_den = 1;
+  Y4mColorspace colorspace = Y4mColorspace::k420;
+
+  double fps() const { return static_cast<double>(fps_num) / fps_den; }
+};
+
+class Y4mReader : public FrameReader {
+ public:
+  /// Parses the stream header eagerly (throws IngestError on a bad one).
+  explicit Y4mReader(std::unique_ptr<ByteSource> source);
+
+  const Y4mHeader& header() const { return header_; }
+
+  bool next(FrameU8& out) override;
+  std::uint64_t bytes_consumed() const override { return in_.consumed(); }
+
+ private:
+  ByteReader in_;
+  Y4mHeader header_;
+  std::vector<std::uint8_t> chroma_scratch_;
+  bool failed_ = false;
+};
+
+/// Decode every frame of an in-memory Y4M stream (tests, corpus replay).
+/// `max_frames` caps the output (0 = unlimited).
+std::vector<FrameU8> decode_y4m(std::vector<std::uint8_t> bytes,
+                                std::size_t max_frames = 0);
+
+/// Streaming Y4M writer (fixture generation). Grayscale frames are written
+/// as the Y plane; C420 emits neutral chroma (128), which the reader skips,
+/// so both colorspaces round-trip grayscale bit-exactly.
+class Y4mWriter {
+ public:
+  Y4mWriter(const std::string& path, const Y4mHeader& header);
+
+  void append(const FrameU8& frame);
+  void close();  ///< flush + close; throws on I/O failure. Idempotent.
+  ~Y4mWriter();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  Y4mHeader header_;
+  bool closed_ = false;
+};
+
+}  // namespace mog::ingest

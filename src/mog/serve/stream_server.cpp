@@ -132,9 +132,11 @@ void StreamServer<T>::close_stream(int id) {
 }
 
 template <typename T>
-bool StreamServer<T>::submit(int id, FrameU8 frame, double arrival_seconds) {
+bool StreamServer<T>::submit(int id, FrameU8 frame, double arrival_seconds,
+                             std::uint64_t ticket) {
   bool accepted = false;
-  const std::uint64_t ticket = obs::mint_frame_ticket();
+  const bool preminted = ticket != 0;
+  if (!preminted) ticket = obs::mint_frame_ticket();
   {
     std::lock_guard<std::mutex> lock(mu_);
     Stream& s = stream_at(id);
@@ -143,7 +145,9 @@ bool StreamServer<T>::submit(int id, FrameU8 frame, double arrival_seconds) {
     if (accepted) {
       // Flow begin: the frame's journey starts at queue admission; every
       // later hop (upload, kernel, download) extends this ticket's chain.
-      emit_flow('s', ticket, id, arrival_seconds);
+      // A pre-minted ticket means the chain began upstream (decode span),
+      // so admission is a step on it rather than its start.
+      emit_flow(preminted ? 't' : 's', ticket, id, arrival_seconds);
     } else {
       log_.warn("frame dropped at ingress",
                 {{"stream", id},

@@ -126,7 +126,13 @@ class StreamServer {
 
   /// Offer one frame to stream `id` at modeled time `arrival_seconds`.
   /// Returns false when the queue's drop policy refused it. Thread-safe.
-  bool submit(int id, FrameU8 frame, double arrival_seconds = 0);
+  ///
+  /// `ticket` == 0 (the default) mints a fresh obs trace ticket here and
+  /// admission becomes the start of the frame's flow chain. A decode front
+  /// end (ingest::DecodeWorker) passes its pre-minted ticket instead: the
+  /// chain then began at the decode span, and admission is a step on it.
+  bool submit(int id, FrameU8 frame, double arrival_seconds = 0,
+              std::uint64_t ticket = 0);
 
   /// Run one scheduling round (see file comment). Returns the number of
   /// frames ingested this round; pending downloads from the previous round

@@ -1,5 +1,6 @@
 #include "mog/video/pnm_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "mog/common/strutil.hpp"
@@ -57,38 +58,56 @@ int read_header_int(std::istream& in, const char* field,
 
 }  // namespace
 
-FrameU8 read_pgm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error{"cannot open for reading: " + path};
+FrameU8 read_pgm(std::istream& in, const std::string& name) {
   char magic[2] = {};
   in.read(magic, 2);
   if (!in || magic[0] != 'P' || magic[1] != '5')
-    throw Error{"not a binary PGM (P5): " + path};
+    throw Error{"not a binary PGM (P5): " + name};
+  // The magic must be its own token: "P51 1 255" is a corrupt header, not a
+  // 1x1 image (corpus finding — the old parser silently accepted it).
+  const int after_magic = in.peek();
+  if (after_magic != ' ' && after_magic != '\t' && after_magic != '\r' &&
+      after_magic != '\n' && after_magic != '#')
+    throw Error{"malformed PGM header: no separator after magic in " + name};
 
-  const int width = read_header_int(in, "width", path);
-  const int height = read_header_int(in, "height", path);
-  const int maxval = read_header_int(in, "maxval", path);
+  const int width = read_header_int(in, "width", name);
+  const int height = read_header_int(in, "height", name);
+  const int maxval = read_header_int(in, "maxval", name);
   if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255)
     throw Error{strprintf("unsupported PGM geometry %dx%d maxval=%d in %s",
-                          width, height, maxval, path.c_str())};
+                          width, height, maxval, name.c_str())};
   if (width > kMaxDimension || height > kMaxDimension ||
       static_cast<std::size_t>(width) * static_cast<std::size_t>(height) >
           kMaxPixels)
     throw Error{strprintf(
         "implausible PGM dimensions %dx%d in %s (limit %d per axis, %zu "
         "pixels total)",
-        width, height, path.c_str(), kMaxDimension, kMaxPixels)};
+        width, height, name.c_str(), kMaxDimension, kMaxPixels)};
   const int sep = in.get();  // single whitespace byte after maxval
   if (sep != ' ' && sep != '\t' && sep != '\r' && sep != '\n')
     throw Error{"malformed PGM header: missing whitespace after maxval in " +
-                path};
+                name};
 
   FrameU8 image(width, height);
   in.read(reinterpret_cast<char*>(image.data()),
           static_cast<std::streamsize>(image.size()));
   if (!in || static_cast<std::size_t>(in.gcount()) != image.size())
-    throw Error{"truncated PGM payload: " + path};
+    throw Error{"truncated PGM payload: " + name};
+  if (maxval < 255) {
+    // Spec: samples run 0..maxval; rescale so a maxval-15 image is not
+    // uniformly near-black downstream (corpus finding).
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      const int v = std::min<int>(image[i], maxval);  // clamp out-of-range
+      image[i] = static_cast<std::uint8_t>((v * 255 + maxval / 2) / maxval);
+    }
+  }
   return image;
+}
+
+FrameU8 read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error{"cannot open for reading: " + path};
+  return read_pgm(in, path);
 }
 
 }  // namespace mog

@@ -2,6 +2,7 @@
 // foreground masks, and background estimates in a format any viewer reads.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "mog/common/image.hpp"
@@ -13,7 +14,12 @@ namespace mog {
 void write_pgm(const std::string& path, const FrameU8& image);
 
 /// Read a binary PGM (P5, maxval <= 255). Throws mog::Error on parse or I/O
-/// failure.
+/// failure. Samples with maxval < 255 are rescaled to full 8-bit range.
 FrameU8 read_pgm(const std::string& path);
+
+/// Same parser over an already-open stream — the seam the fuzz harness and
+/// corpus tests use to feed arbitrary bytes without touching the
+/// filesystem. `name` labels errors (a path or a synthetic tag).
+FrameU8 read_pgm(std::istream& in, const std::string& name);
 
 }  // namespace mog

@@ -1,0 +1,26 @@
+// libFuzzer harness for the baseline JPEG decoder (and, via the splitter
+// contract, the MJPEG part scanner: find_jpeg_span runs on the same bytes).
+//
+// Contract under fuzzing: decode or typed IngestError — nothing else.
+//
+//   $ build/tests/fuzz/fuzz_jpeg tests/fuzz/corpus/jpeg -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "mog/ingest/jpeg.hpp"
+#include "mog/ingest/mjpeg.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes{data, size};
+  try {
+    mog::ingest::decode_jpeg_gray(bytes);
+  } catch (const mog::ingest::IngestError&) {
+  }
+  try {
+    mog::ingest::find_jpeg_span(bytes);
+  } catch (const mog::ingest::IngestError&) {
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// libFuzzer harness for the PGM reader, fed through the istream overload so
+// no filesystem round-trip is needed per input.
+//
+// Contract under fuzzing: parse or typed mog::Error — nothing else.
+//
+//   $ build/tests/fuzz/fuzz_pnm tests/fuzz/corpus/pnm -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "mog/video/pnm_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes{reinterpret_cast<const char*>(data), size};
+  std::istringstream in{bytes};
+  try {
+    mog::read_pgm(in, "fuzz-input");
+  } catch (const mog::Error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// libFuzzer harness for the Y4M reader.
+//
+// Contract under fuzzing: any byte string either decodes or throws a typed
+// IngestError — no other exception type, no crash, no sanitizer report, no
+// unbounded allocation (the bomb caps bound geometry, and the frame cap
+// below bounds runtime on gigantic generated streams).
+//
+//   $ cmake -B build -DMOG_BUILD_FUZZERS=ON -DCMAKE_CXX_COMPILER=clang++
+//   $ cmake --build build -j
+//   $ build/tests/fuzz/fuzz_y4m tests/fuzz/corpus/y4m -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mog/ingest/y4m.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    mog::ingest::decode_y4m(std::vector<std::uint8_t>{data, data + size},
+                            /*max_frames=*/64);
+  } catch (const mog::ingest::IngestError&) {
+    // Typed rejection is the correct outcome for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Corpus-regression replay: every committed fuzz seed must keep its
+// contract — ok_* parses, bad_* throws the typed error — and none may
+// crash, leak, or trip UB. This test carries the `fuzz-corpus` ctest label
+// so CI replays the corpus inside the ASan/UBSan job even when the
+// libFuzzer lane (clang-only) is unavailable; new crash inputs found by
+// fuzzing get minimized, named bad_*, and dropped into tests/fuzz/corpus/
+// to become permanent regressions here.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mog/ingest/ingest_error.hpp"
+#include "mog/ingest/jpeg.hpp"
+#include "mog/ingest/mjpeg.hpp"
+#include "mog/ingest/y4m.hpp"
+#include "mog/video/pnm_io.hpp"
+
+namespace mog {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir(const char* format) {
+  return fs::path{MOG_FUZZ_CORPUS_DIR} / format;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Replay one corpus directory through `parse`. ok_* must succeed, bad_*
+// must throw exactly the expected error type (never any other exception,
+// never a crash). Returns the number of seeds replayed.
+template <typename ExpectedError, typename ParseFn>
+int replay(const char* format, ParseFn parse) {
+  int seeds = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(corpus_dir(format))) {
+    const std::string name = entry.path().filename().string();
+    const std::vector<std::uint8_t> bytes = slurp(entry.path());
+    ++seeds;
+    if (name.rfind("ok_", 0) == 0) {
+      EXPECT_NO_THROW(parse(bytes, name)) << name;
+    } else if (name.rfind("bad_", 0) == 0) {
+      EXPECT_THROW(parse(bytes, name), ExpectedError) << name;
+    } else {
+      ADD_FAILURE() << "corpus file " << name
+                    << " violates the ok_*/bad_* naming convention";
+    }
+  }
+  return seeds;
+}
+
+TEST(FuzzCorpus, Y4m) {
+  const int n = replay<ingest::IngestError>(
+      "y4m", [](const std::vector<std::uint8_t>& bytes, const std::string&) {
+        ingest::decode_y4m(bytes);
+      });
+  EXPECT_GE(n, 10) << "y4m seed corpus went missing";
+}
+
+TEST(FuzzCorpus, Jpeg) {
+  const int n = replay<ingest::IngestError>(
+      "jpeg", [](const std::vector<std::uint8_t>& bytes, const std::string&) {
+        ingest::decode_jpeg_gray(bytes);
+      });
+  EXPECT_GE(n, 10) << "jpeg seed corpus went missing";
+}
+
+TEST(FuzzCorpus, JpegSeedsAlsoSplitAsMjpeg) {
+  // Every standalone JPEG seed doubles as a one-part MJPEG stream; the
+  // splitter must agree with the direct decoder about validity.
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(corpus_dir("jpeg"))) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ok_", 0) != 0) continue;
+    ingest::MjpegReader reader{
+        std::make_unique<ingest::MemorySource>(slurp(entry.path()))};
+    FrameU8 frame;
+    EXPECT_TRUE(reader.next(frame)) << name;
+    EXPECT_FALSE(reader.next(frame)) << name;
+  }
+}
+
+TEST(FuzzCorpus, Pnm) {
+  const int n = replay<Error>(
+      "pnm",
+      [](const std::vector<std::uint8_t>& bytes, const std::string& name) {
+        const std::string s{bytes.begin(), bytes.end()};
+        std::istringstream in{s};
+        read_pgm(in, name);
+      });
+  EXPECT_GE(n, 10) << "pnm seed corpus went missing";
+}
+
+TEST(FuzzCorpus, PnmMaxvalSeedRescalesToFullRange) {
+  // ok_maxval15.pgm holds samples 0,5,10,15 at maxval 15: the reader must
+  // stretch them to 0,85,170,255, not hand a near-black frame downstream.
+  const std::vector<std::uint8_t> bytes =
+      slurp(corpus_dir("pnm") / "ok_maxval15.pgm");
+  const std::string s{bytes.begin(), bytes.end()};
+  std::istringstream in{s};
+  const FrameU8 img = read_pgm(in, "ok_maxval15.pgm");
+  ASSERT_EQ(img.size(), 4u);
+  EXPECT_EQ(img[0], 0);
+  EXPECT_EQ(img[1], 85);
+  EXPECT_EQ(img[2], 170);
+  EXPECT_EQ(img[3], 255);
+}
+
+}  // namespace
+}  // namespace mog

@@ -235,18 +235,16 @@ TEST(PnmIo, MissingFileThrows) {
 }
 
 // --- hostile-header hardening ----------------------------------------------
+//
+// The adversarial byte blobs live in the shared fuzz seed corpus
+// (tests/fuzz/corpus/pnm, regenerated by scripts/make_ingest_fixtures):
+// the fuzzers mutate from them, test_fuzz_corpus replays them under
+// sanitizers, and these tests pin the *messages* so a failure names the
+// defense that regressed.
 
-std::string write_raw_pgm(const char* name, const std::string& bytes) {
+void expect_corpus_error(const char* seed, const char* needle) {
   const std::string path =
-      (std::filesystem::temp_directory_path() / name).string();
-  std::FILE* fp = std::fopen(path.c_str(), "wb");
-  EXPECT_NE(fp, nullptr);
-  std::fwrite(bytes.data(), 1, bytes.size(), fp);
-  std::fclose(fp);
-  return path;
-}
-
-void expect_read_error(const std::string& path, const char* needle) {
+      (std::filesystem::path{MOG_FUZZ_CORPUS_DIR} / "pnm" / seed).string();
   try {
     read_pgm(path);
     FAIL() << "expected read_pgm to reject " << path;
@@ -254,41 +252,36 @@ void expect_read_error(const std::string& path, const char* needle) {
     EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
         << e.what();
   }
-  std::remove(path.c_str());
 }
 
 TEST(PnmIo, RejectsNonNumericHeaderFields) {
-  expect_read_error(write_raw_pgm("mog_pgm_alpha.pgm", "P5\nabc 10\n255\nx"),
-                    "not a number");
+  expect_corpus_error("bad_alpha_width.pgm", "not a number");
   // Signed values are rejected up front, not parsed and range-checked.
-  expect_read_error(write_raw_pgm("mog_pgm_neg.pgm", "P5\n-3 10\n255\nx"),
-                    "not a number");
+  expect_corpus_error("bad_negative_width.pgm", "not a number");
 }
 
 TEST(PnmIo, RejectsOverflowingHeaderValues) {
-  expect_read_error(
-      write_raw_pgm("mog_pgm_huge.pgm", "P5\n99999999999999999999 4\n255\nx"),
-      "bad width");
+  expect_corpus_error("bad_overflow_width.pgm", "bad width");
 }
 
 TEST(PnmIo, RejectsImplausibleDimensions) {
   // Parses fine but would demand a giant allocation: capped per axis.
-  expect_read_error(write_raw_pgm("mog_pgm_dim.pgm", "P5\n20000 2\n255\nx"),
-                    "implausible");
+  expect_corpus_error("bad_dims_bomb.pgm", "implausible");
 }
 
 TEST(PnmIo, RejectsBadMaxval) {
-  expect_read_error(write_raw_pgm("mog_pgm_mv0.pgm", "P5\n2 2\n0\nABCD"),
-                    "maxval");
-  expect_read_error(write_raw_pgm("mog_pgm_mv16.pgm", "P5\n2 2\n65535\nABCD"),
-                    "maxval");
+  expect_corpus_error("bad_maxval_zero.pgm", "maxval");
+  expect_corpus_error("bad_maxval_16bit.pgm", "maxval");
 }
 
 TEST(PnmIo, RejectsMissingWhitespaceAfterMaxval) {
-  expect_read_error(write_raw_pgm("mog_pgm_nosep.pgm", "P5\n2 2\n255"),
-                    "whitespace");
-  expect_read_error(write_raw_pgm("mog_pgm_badsep.pgm", "P5\n2 2\n255XABCD"),
-                    "whitespace");
+  expect_corpus_error("bad_no_sep_after_maxval.pgm", "whitespace");
+  expect_corpus_error("bad_sep_x_after_maxval.pgm", "whitespace");
+}
+
+TEST(PnmIo, RejectsDigitFusedToMagic) {
+  // "P51 1\n255\n..." is a corrupt header, not a 1x1 image.
+  expect_corpus_error("bad_fused_magic.pgm", "separator after magic");
 }
 
 }  // namespace
