@@ -7,6 +7,16 @@
 
 namespace mog::gpusim {
 
+namespace {
+
+/// Bitmask with the low `bytes` bits set; `bytes` must be ≤ 64 (checked at
+/// Coalescer construction for the store-segment width, the only consumer).
+inline std::uint64_t byte_mask(std::uint64_t bytes) {
+  return bytes >= 64 ? ~0ull : (1ull << bytes) - 1;
+}
+
+}  // namespace
+
 SegmentCache::SegmentCache(int capacity) : capacity_(capacity) {
   MOG_CHECK(capacity >= 1 && capacity <= 16,
             "segment cache capacity must be in [1, 16]");
@@ -38,7 +48,11 @@ Coalescer::Coalescer(const DeviceSpec& spec, int effective_l1_segments)
     : load_segment_bytes_(spec.load_segment_bytes),
       store_segment_bytes_(spec.store_segment_bytes),
       page_bytes_(spec.dram_page_bytes),
-      l1_(effective_l1_segments) {}
+      l1_(effective_l1_segments) {
+  MOG_CHECK(spec.store_segment_bytes >= 1 && spec.store_segment_bytes <= 64,
+            "store coverage bitmask requires store segments of at most "
+            "64 bytes");
+}
 
 void Coalescer::begin_warp() {
   l1_.clear();
@@ -69,17 +83,18 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
   // Collect the distinct segments the active lanes touch, with per-segment
   // byte coverage. An element may straddle a segment boundary (unaligned
   // AoS doubles), so both endpoints are folded in. 32 lanes × ≤2 segments
-  // keeps this a small local array.
+  // keeps this a small local array. Coverage is a byte bitmask so lanes
+  // writing overlapping or duplicate addresses count each byte once —
+  // summing per-lane extents would let 32 lanes storing the same word claim
+  // 128 bytes of a 32-byte segment and mask the ECC read-modify-write
+  // charge below. Only stores consume coverage; loads skip the bookkeeping.
   std::uint64_t segs[2 * kWarpSize];
-  unsigned covered[2 * kWarpSize];
+  std::uint64_t covered[2 * kWarpSize];
   int n = 0;
   for (const std::uint64_t a : addrs) {
     const std::uint64_t first = a / seg_bytes;
     const std::uint64_t last = (a + bytes_per_lane - 1) / seg_bytes;
     for (std::uint64_t s = first; s <= last; ++s) {
-      const std::uint64_t lo = std::max(a, s * seg_bytes);
-      const std::uint64_t hi = std::min(a + bytes_per_lane,
-                                        (s + 1) * seg_bytes);
       int j = 0;
       while (j < n && segs[j] != s) ++j;
       if (j == n) {
@@ -87,7 +102,12 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
         covered[n] = 0;
         ++n;
       }
-      covered[j] += static_cast<unsigned>(hi - lo);
+      if (!is_load) {
+        const std::uint64_t lo = std::max(a, s * seg_bytes) - s * seg_bytes;
+        const std::uint64_t hi =
+            std::min(a + bytes_per_lane, (s + 1) * seg_bytes) - s * seg_bytes;
+        covered[j] |= byte_mask(hi - lo) << lo;
+      }
     }
   }
 
@@ -103,7 +123,7 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
     // covers only part of a segment forces the memory system to read the
     // segment, merge, and write it back — the hidden cost of masked,
     // scattered stores that the predicated variants avoid.
-    if (!is_load && covered[i] < seg_bytes) ++rmw_reads;
+    if (!is_load && covered[i] != byte_mask(seg_bytes)) ++rmw_reads;
     const std::uint64_t page = segs[i] * seg_bytes / page_bytes_;
     if (page_trace_ != nullptr)
       page_trace_->push_back(page);

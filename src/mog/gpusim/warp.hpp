@@ -108,8 +108,17 @@ inline void charge_sqrt() {
   charge(sizeof(T) == 8 ? kCyclesDpSqrt : kCyclesSpSqrt);
 }
 
-inline void track_alloc(int words) {
-  if (ExecEnv* env = exec_env(); env != nullptr) env->regs->alloc(words);
+/// Register-allocates `words` if a kernel is running on this thread and
+/// returns whether it did — the Vec remembers the answer so its destructor
+/// never releases words it did not allocate (a Vec constructed outside a
+/// kernel but destroyed while one runs would otherwise drive live_words
+/// negative and corrupt peak_words / regs_per_thread).
+inline bool track_alloc(int words) {
+  if (ExecEnv* env = exec_env(); env != nullptr) {
+    env->regs->alloc(words);
+    return true;
+  }
+  return false;
 }
 inline void track_release(int words) {
   if (ExecEnv* env = exec_env(); env != nullptr) env->regs->release(words);
@@ -124,20 +133,28 @@ inline void track_release(int words) {
 template <typename T>
 class Vec {
  public:
-  Vec() : lane_{} { detail::track_alloc(kRegWords<T>); }
+  Vec() : lane_{}, tracked_(detail::track_alloc(kRegWords<T>)) {}
   explicit Vec(T broadcast) {
     lane_.fill(broadcast);
-    detail::track_alloc(kRegWords<T>);
+    tracked_ = detail::track_alloc(kRegWords<T>);
   }
-  Vec(const Vec& other) : lane_(other.lane_) {
-    detail::track_alloc(kRegWords<T>);
+  Vec(const Vec& other)
+      : lane_(other.lane_), tracked_(detail::track_alloc(kRegWords<T>)) {}
+  Vec(Vec&& other) noexcept
+      : lane_(other.lane_), tracked_(detail::track_alloc(kRegWords<T>)) {}
+  // Assignment transfers lane values only: this Vec's own allocation (and
+  // whether it was tracked at construction) is unchanged.
+  Vec& operator=(const Vec& other) {
+    lane_ = other.lane_;
+    return *this;
   }
-  Vec(Vec&& other) noexcept : lane_(other.lane_) {
-    detail::track_alloc(kRegWords<T>);
+  Vec& operator=(Vec&& other) noexcept {
+    lane_ = other.lane_;
+    return *this;
   }
-  Vec& operator=(const Vec& other) = default;
-  Vec& operator=(Vec&& other) noexcept = default;
-  ~Vec() { detail::track_release(kRegWords<T>); }
+  ~Vec() {
+    if (tracked_) detail::track_release(kRegWords<T>);
+  }
 
   T& operator[](int lane) { return lane_[static_cast<std::size_t>(lane)]; }
   const T& operator[](int lane) const {
@@ -155,6 +172,7 @@ class Vec {
 
  private:
   std::array<T, kWarpSize> lane_;
+  bool tracked_;  ///< allocation was counted at construction (see track_alloc)
 };
 
 /// Per-lane boolean predicate (Fermi predicate registers are not part of the
@@ -270,7 +288,9 @@ inline Vec<T> vmin(const Vec<T>& a, const Vec<T>& b) {
 
 template <typename To, typename From>
 inline Vec<To> vcast(const Vec<From>& a) {
-  detail::charge(kCyclesSpArith);
+  // Conversion cost follows the destination width: a cast producing doubles
+  // runs at the half-rate DP pipe, int targets at the int pipe.
+  detail::charge_arith<To>();
   Vec<To> r;
   for (int i = 0; i < kWarpSize; ++i) r[i] = static_cast<To>(a[i]);
   return r;

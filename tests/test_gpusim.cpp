@@ -113,6 +113,28 @@ TEST(Coalescer, PartialStoreTriggersEccReadModifyWrite) {
   EXPECT_NEAR(s.memory_access_efficiency(), 128.0 / (16 * 32), 1e-12);
 }
 
+TEST(Coalescer, DuplicateLaneStoresCountCoverageOnce) {
+  // 32 lanes all storing the same 4-byte word: one 32 B store segment with
+  // only 4 of 32 bytes covered → the ECC read-modify-write must fire.
+  // Summed per-lane extents would claim 128 bytes of coverage and mask it.
+  std::vector<std::uint64_t> addrs(32, 0x20000);
+  const KernelStats s = run_access(Coalescer::Kind::kStore, addrs, 4);
+  EXPECT_EQ(s.store_transactions, 1u);
+  EXPECT_EQ(s.rmw_transactions, 1u);
+}
+
+TEST(Coalescer, OverlappingStoreExtentsDedupeByteCoverage) {
+  // Lanes 0..15 write overlapping 4-byte spans at stride 2 covering bytes
+  // [0, 34): segment 0 is fully covered (no RMW), segment 1 only holds two
+  // bytes (RMW). The summed-extent bug saw 64 bytes on segment 0 either way,
+  // but also masked genuinely partial patterns like segment 1's.
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 16; ++i) addrs.push_back(0x20000 + 2 * i);
+  const KernelStats s = run_access(Coalescer::Kind::kStore, addrs, 4);
+  EXPECT_EQ(s.store_transactions, 2u);
+  EXPECT_EQ(s.rmw_transactions, 1u);
+}
+
 TEST(Coalescer, L1WindowServesImmediateReuse) {
   DeviceSpec spec;
   Coalescer c{spec, kEffectiveL1SegmentsPerWarp};
@@ -478,6 +500,55 @@ TEST(Warp, RegisterTrackingSeesLiveVecs) {
     for (auto& a : arrs) acc = acc + a;
   });
   EXPECT_GT(many.regs_per_thread, few.regs_per_thread);
+}
+
+TEST(Warp, VecConstructedOutsideKernelCannotUnderflowRegTracker) {
+  // A Vec constructed while no kernel runs (exec_env() == nullptr) is never
+  // register-tracked; destroying it while a later kernel runs on the same
+  // thread must not release words it never allocated. Before the tracked_
+  // flag, the release drove live_words negative, so the kernel's own Vecs
+  // climbed back through zero and regs_per_thread under-reported.
+  auto kernel_body = [](WarpCtx&) {
+    std::vector<Vec<double>> arrs(4, Vec<double>(1.0));
+    Vec<double> acc(0.0);
+    for (auto& a : arrs) acc = acc + a;
+  };
+  const KernelStats clean = run_warp(kernel_body);
+
+  auto outside = std::make_unique<Vec<double>>(5.0);  // untracked
+  DeviceSpec spec;
+  spec.executor_threads = 1;  // blocks run on this thread
+  Device dev{spec};
+  LaunchConfig cfg;
+  cfg.num_threads = 32;
+  cfg.threads_per_block = 32;
+  const KernelStats poisoned = dev.launch(cfg, [&](BlockCtx& blk) {
+    blk.parallel([&](WarpCtx& w) {
+      outside.reset();  // destroyed mid-warp, while exec_env() is installed
+      kernel_body(w);
+    });
+  });
+  EXPECT_EQ(poisoned.regs_per_thread, clean.regs_per_thread);
+}
+
+TEST(Warp, VcastChargesDestinationWidth) {
+  // vcast cycle cost must follow the destination type: float→double runs on
+  // the half-rate DP pipe, float→int on the int pipe (it used to flat-charge
+  // kCyclesSpArith regardless).
+  const KernelStats base = run_warp([](WarpCtx&) { Vec<float> a(1.0f); });
+  const KernelStats to_dp = run_warp([](WarpCtx&) {
+    Vec<float> a(1.0f);
+    (void)vcast<double>(a);
+  });
+  const KernelStats to_int = run_warp([](WarpCtx&) {
+    Vec<float> a(1.0f);
+    (void)vcast<std::int32_t>(a);
+  });
+  EXPECT_EQ(to_dp.issue_cycles - base.issue_cycles,
+            static_cast<std::uint64_t>(kCyclesDpArith));
+  EXPECT_EQ(to_int.issue_cycles - base.issue_cycles,
+            static_cast<std::uint64_t>(kCyclesIntArith));
+  EXPECT_EQ(to_dp.warp_instructions - base.warp_instructions, 1u);
 }
 
 TEST(Warp, SharedMemoryRoundTripAndConflicts) {
