@@ -74,6 +74,20 @@ inline bool update_pixel_sorted(T* w, T* m, T* sd, std::size_t stride,
                                 T x, const TypedMogParams<T>& p) {
   const int K = p.k;
   MOG_ASSERT(K <= 8, "component count exceeds kMaxComponents");
+  // The routine walks the components up to six times (match, virtual-
+  // component scan, two normalize passes, sort, decision). With SoA storage
+  // the stride is the whole frame, putting every strided access on its own
+  // cache line — so gather the K ≤ 8 triples into dense locals once, run
+  // every pass stride-1, and scatter back once. The arithmetic and its
+  // evaluation order are untouched, so results are bit-identical.
+  T lw[8], lm[8], lsd[8];
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    lw[k] = w[i];
+    lm[k] = m[i];
+    lsd[k] = sd[i];
+  }
+
   bool any_match = false;
   // Pre-update diffs, kept and permuted through the sort exactly as the
   // paper's Algorithm 1 does (diff computed at line 4, reused at line 24).
@@ -81,13 +95,12 @@ inline bool update_pixel_sorted(T* w, T* m, T* sd, std::size_t stride,
 
   // Match classification and per-component update (Algorithm 1, lines 3-11).
   for (int k = 0; k < K; ++k) {
-    const std::size_t i = k * stride;
-    diff[k] = std::abs(m[i] - x);
-    if (diff[k] < p.gamma1 * sd[i]) {
-      detail::update_matched(w[i], m[i], sd[i], x, p);
+    diff[k] = std::abs(lm[k] - x);
+    if (diff[k] < p.gamma1 * lsd[k]) {
+      detail::update_matched(lw[k], lm[k], lsd[k], x, p);
       any_match = true;
     } else {
-      w[i] = p.alpha * w[i];
+      lw[k] = p.alpha * lw[k];
     }
   }
 
@@ -95,31 +108,29 @@ inline bool update_pixel_sorted(T* w, T* m, T* sd, std::size_t stride,
   if (!any_match) {
     int lowest = 0;
     for (int k = 1; k < K; ++k)
-      if (w[k * stride] < w[lowest * stride]) lowest = k;
-    const std::size_t i = lowest * stride;
-    w[i] = p.w_init;
-    m[i] = x;
-    sd[i] = p.sd_init;
+      if (lw[k] < lw[lowest]) lowest = k;
+    lw[lowest] = p.w_init;
+    lm[lowest] = x;
+    lsd[lowest] = p.sd_init;
   }
 
   // Normalize weights so the Γ2 threshold stays meaningful. (For the common
   // single-match case the update rule already preserves Σw = 1; this guards
   // multi-match overlap and virtual-component creation.)
   T wsum = T{0};
-  for (int k = 0; k < K; ++k) wsum += w[k * stride];
+  for (int k = 0; k < K; ++k) wsum += lw[k];
   const T inv = T{1} / wsum;
-  for (int k = 0; k < K; ++k) w[k * stride] *= inv;
+  for (int k = 0; k < K; ++k) lw[k] *= inv;
 
   // Rank and sort by w/σ descending (lines 16-21). Insertion sort on the
   // parameter triples (diff travels with its component); K ≤ 8 so this is
   // cheap on a CPU.
   for (int k = 1; k < K; ++k) {
     int j = k;
-    while (j > 0 && w[j * stride] / sd[j * stride] >
-                        w[(j - 1) * stride] / sd[(j - 1) * stride]) {
-      std::swap(w[j * stride], w[(j - 1) * stride]);
-      std::swap(m[j * stride], m[(j - 1) * stride]);
-      std::swap(sd[j * stride], sd[(j - 1) * stride]);
+    while (j > 0 && lw[j] / lsd[j] > lw[j - 1] / lsd[j - 1]) {
+      std::swap(lw[j], lw[j - 1]);
+      std::swap(lm[j], lm[j - 1]);
+      std::swap(lsd[j], lsd[j - 1]);
       std::swap(diff[j], diff[j - 1]);
       --j;
     }
@@ -127,12 +138,21 @@ inline bool update_pixel_sorted(T* w, T* m, T* sd, std::size_t stride,
 
   // Foreground decision: scan from highest rank, stop at first background
   // match (lines 22-28; pre-update diff against updated w and sd).
+  bool foreground = true;
+  for (int k = 0; k < K; ++k) {
+    if (lw[k] >= p.gamma2 && diff[k] < p.gamma1d * lsd[k]) {
+      foreground = false;  // background
+      break;
+    }
+  }
+
   for (int k = 0; k < K; ++k) {
     const std::size_t i = k * stride;
-    if (w[i] >= p.gamma2 && diff[k] < p.gamma1d * sd[i])
-      return false;  // background
+    w[i] = lw[k];
+    m[i] = lm[k];
+    sd[i] = lsd[k];
   }
-  return true;  // foreground
+  return foreground;
 }
 
 /// One pixel, no-sort + predicated flavour (Algorithms 3 and 5). Branch-free
@@ -143,14 +163,24 @@ inline bool update_pixel_nosort(T* w, T* m, T* sd, std::size_t stride,
                                 T x, const TypedMogParams<T>& p) {
   const int K = p.k;
   MOG_ASSERT(K <= 8, "component count exceeds kMaxComponents");
+  // Dense local copies for the same reason as update_pixel_sorted: one
+  // strided gather and one strided scatter replace five strided component
+  // walks, and the stride-1 passes are what the compiler can vectorize.
+  T lw[8], lm[8], lsd[8];
+  for (int k = 0; k < K; ++k) {
+    const std::size_t i = k * stride;
+    lw[k] = w[i];
+    lm[k] = m[i];
+    lsd[k] = sd[i];
+  }
+
   T any_match = T{0};
   T diffs[8];
 
   for (int k = 0; k < K; ++k) {
-    const std::size_t i = k * stride;
-    const T diff = std::abs(m[i] - x);
+    const T diff = std::abs(lm[k] - x);
     diffs[k] = diff;
-    const T match = diff < p.gamma1 * sd[i] ? T{1} : T{0};
+    const T match = diff < p.gamma1 * lsd[k] ? T{1} : T{0};
     any_match = any_match + match - any_match * match;  // logical OR
 
     // Predicated update (Algorithm 5): blend matched/non-matched results.
@@ -159,43 +189,47 @@ inline bool update_pixel_nosort(T* w, T* m, T* sd, std::size_t stride,
     // matched component always has w_new >= 1-alpha, far above the floor,
     // hence matched results are bit-identical to the branchy path) and the
     // variance is floored before sqrt (same flooring as update_matched).
-    const T w_new = p.alpha * w[i] + match * p.one_minus_alpha;
+    const T w_new = p.alpha * lw[k] + match * p.one_minus_alpha;
     const T w_safe = w_new > T{1e-12} ? w_new : T{1e-12};
     const T tmp = p.one_minus_alpha / w_safe;
-    const T delta = x - m[i];
-    const T m_new = m[i] + tmp * delta;
-    T var = sd[i] * sd[i];
+    const T delta = x - lm[k];
+    const T m_new = lm[k] + tmp * delta;
+    T var = lsd[k] * lsd[k];
     var = var + tmp * (delta * delta - var);
     const T min_var = p.min_sd * p.min_sd;
     if (var < min_var) var = min_var;
     const T sd_new = std::sqrt(var);
 
-    w[i] = w_new;
-    m[i] = (T{1} - match) * m[i] + match * m_new;
-    sd[i] = (T{1} - match) * sd[i] + match * sd_new;
+    lw[k] = w_new;
+    lm[k] = (T{1} - match) * lm[k] + match * m_new;
+    lsd[k] = (T{1} - match) * lsd[k] + match * sd_new;
   }
 
   if (any_match == T{0}) {
     int lowest = 0;
     for (int k = 1; k < K; ++k)
-      if (w[k * stride] < w[lowest * stride]) lowest = k;
-    const std::size_t i = lowest * stride;
-    w[i] = p.w_init;
-    m[i] = x;
-    sd[i] = p.sd_init;
+      if (lw[k] < lw[lowest]) lowest = k;
+    lw[lowest] = p.w_init;
+    lm[lowest] = x;
+    lsd[lowest] = p.sd_init;
   }
 
   T wsum = T{0};
-  for (int k = 0; k < K; ++k) wsum += w[k * stride];
+  for (int k = 0; k < K; ++k) wsum += lw[k];
   const T inv = T{1} / wsum;
-  for (int k = 0; k < K; ++k) w[k * stride] *= inv;
+  for (int k = 0; k < K; ++k) lw[k] *= inv;
 
   // Unconditional check of all components (Algorithm 3) — order irrelevant;
   // pre-update diff against updated w and sd, like the sorted flavour.
   bool background = false;
+  for (int k = 0; k < K; ++k)
+    background |= (lw[k] >= p.gamma2 && diffs[k] < p.gamma1d * lsd[k]);
+
   for (int k = 0; k < K; ++k) {
     const std::size_t i = k * stride;
-    background |= (w[i] >= p.gamma2 && diffs[k] < p.gamma1d * sd[i]);
+    w[i] = lw[k];
+    m[i] = lm[k];
+    sd[i] = lsd[k];
   }
   return !background;
 }

@@ -1,6 +1,7 @@
 #include "mog/gpusim/coalescer.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "mog/common/error.hpp"
 #include "mog/gpusim/timing_constants.hpp"
@@ -28,26 +29,23 @@ void SegmentCache::clear() {
   std::fill(std::begin(lines_), std::end(lines_), ~0ull);
 }
 
-bool SegmentCache::access(std::uint64_t segment_id) {
-  // MRU-first linear scan; on hit, move to front.
-  for (int i = 0; i < size_; ++i) {
-    if (lines_[i] == segment_id) {
-      for (int j = i; j > 0; --j) lines_[j] = lines_[j - 1];
-      lines_[0] = segment_id;
-      return true;
-    }
-  }
-  // Miss: shift and insert at front, evicting the LRU tail.
-  if (size_ < capacity_) ++size_;
-  for (int j = size_ - 1; j > 0; --j) lines_[j] = lines_[j - 1];
-  lines_[0] = segment_id;
-  return false;
+namespace {
+
+/// log2 of `v` when it is a power of two, -1 otherwise (division fallback).
+inline int shift_of(int v) {
+  const auto u = static_cast<unsigned>(v);
+  return std::has_single_bit(u) ? std::countr_zero(u) : -1;
 }
+
+}  // namespace
 
 Coalescer::Coalescer(const DeviceSpec& spec, int effective_l1_segments)
     : load_segment_bytes_(spec.load_segment_bytes),
       store_segment_bytes_(spec.store_segment_bytes),
       page_bytes_(spec.dram_page_bytes),
+      load_seg_shift_(shift_of(spec.load_segment_bytes)),
+      store_seg_shift_(shift_of(spec.store_segment_bytes)),
+      page_shift_(shift_of(spec.dram_page_bytes)),
       l1_(effective_l1_segments) {
   MOG_CHECK(spec.store_segment_bytes >= 1 && spec.store_segment_bytes <= 64,
             "store coverage bitmask requires store segments of at most "
@@ -59,18 +57,10 @@ void Coalescer::begin_warp() {
   // Open DRAM rows deliberately persist: row locality spans warps.
 }
 
-bool DramRowLru::access(std::uint64_t page) {
-  for (int i = 0; i < open_count_; ++i) {
-    if (open_rows_[i] == page) {
-      for (int j = i; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
-      open_rows_[0] = page;
-      return true;
-    }
-  }
-  if (open_count_ < kOpenRows) ++open_count_;
-  for (int j = open_count_ - 1; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
-  open_rows_[0] = page;
-  return false;
+void Coalescer::reset() {
+  l1_.clear();
+  rows_ = DramRowLru{};
+  page_trace_ = nullptr;
 }
 
 void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
@@ -79,6 +69,10 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
   const bool is_load = kind == Kind::kLoad;
   const unsigned seg_bytes = static_cast<unsigned>(
       is_load ? load_segment_bytes_ : store_segment_bytes_);
+  const int seg_shift = is_load ? load_seg_shift_ : store_seg_shift_;
+  const auto seg_of = [seg_bytes, seg_shift](std::uint64_t a) {
+    return seg_shift >= 0 ? a >> seg_shift : a / seg_bytes;
+  };
 
   // Collect the distinct segments the active lanes touch, with per-segment
   // byte coverage. An element may straddle a segment boundary (unaligned
@@ -88,27 +82,106 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
   // summing per-lane extents would let 32 lanes storing the same word claim
   // 128 bytes of a 32-byte segment and mask the ECC read-modify-write
   // charge below. Only stores consume coverage; loads skip the bookkeeping.
+  //
   std::uint64_t segs[2 * kWarpSize];
   std::uint64_t covered[2 * kWarpSize];
   int n = 0;
-  for (const std::uint64_t a : addrs) {
-    const std::uint64_t first = a / seg_bytes;
-    const std::uint64_t last = (a + bytes_per_lane - 1) / seg_bytes;
-    for (std::uint64_t s = first; s <= last; ++s) {
-      int j = 0;
-      while (j < n && segs[j] != s) ++j;
-      if (j == n) {
-        segs[n] = s;
-        covered[n] = 0;
-        ++n;
+  const auto cover = [&](int j, std::uint64_t a, std::uint64_t s) {
+    const std::uint64_t lo = std::max(a, s * seg_bytes) - s * seg_bytes;
+    const std::uint64_t hi =
+        std::min(a + bytes_per_lane, (s + 1) * seg_bytes) - s * seg_bytes;
+    covered[j] |= byte_mask(hi - lo) << lo;
+  };
+  // Warp memory instructions overwhelmingly issue non-decreasing lane
+  // addresses (SoA streams and uniform-stride AoS gathers alike), making
+  // the segment sequence non-decreasing too — then comparing against the
+  // last-recorded segment is a complete dedupe. Detect that cheaply and
+  // keep the general path (arbitrary scatter) on a small open-addressed
+  // index table instead of a per-lane linear scan (O(n²) across the warp).
+  bool monotone = true;
+  for (std::size_t i = 1; i < addrs.size(); ++i)
+    monotone &= addrs[i] >= addrs[i - 1];
+  // Distinct 128-byte L1 lines touched, for the LSU instruction-replay
+  // charge below. On the monotone path they are counted as boundary
+  // crossings in the same pass as the segments; the scatter path dedupes
+  // with a sorted-insertion pass afterwards.
+  int replay_lines = 0;
+  if (monotone) {
+    std::uint64_t prev_line = 0;
+    for (const std::uint64_t a : addrs) {
+      const std::uint64_t first = seg_of(a);
+      const std::uint64_t last = seg_of(a + bytes_per_lane - 1);
+      for (std::uint64_t s = first; s <= last; ++s) {
+        if (n == 0 || segs[n - 1] != s) {
+          segs[n] = s;
+          covered[n] = 0;
+          ++n;
+        }
+        if (!is_load) cover(n - 1, a, s);
       }
-      if (!is_load) {
-        const std::uint64_t lo = std::max(a, s * seg_bytes) - s * seg_bytes;
-        const std::uint64_t hi =
-            std::min(a + bytes_per_lane, (s + 1) * seg_bytes) - s * seg_bytes;
-        covered[j] |= byte_mask(hi - lo) << lo;
+      // prev_line is the highest line counted so far; with non-decreasing
+      // addresses any line ≤ prev_line was already touched by an earlier
+      // element (whose interval reached prev_line), so "new" is exactly
+      // "> prev_line" — including line_last when consecutive elements
+      // straddle the same boundary.
+      const std::uint64_t line_first = a / 128;
+      const std::uint64_t line_last = (a + bytes_per_lane - 1) / 128;
+      if (replay_lines == 0 || line_first > prev_line) {
+        ++replay_lines;
+        prev_line = line_first;
+      }
+      if (line_last > prev_line) {
+        ++replay_lines;
+        prev_line = line_last;
       }
     }
+  } else {
+    // slot[] maps a segment hash to its position in segs[]+1. n ≤ 64
+    // against 128 slots keeps probes short, and segs[] still records
+    // first-touch order — the L1 lookup below is an LRU, so segment visit
+    // order is semantically load-bearing.
+    std::uint8_t slot[128] = {};
+    for (const std::uint64_t a : addrs) {
+      const std::uint64_t first = seg_of(a);
+      const std::uint64_t last = seg_of(a + bytes_per_lane - 1);
+      for (std::uint64_t s = first; s <= last; ++s) {
+        int j;
+        if (n > 0 && segs[n - 1] == s) {
+          j = n - 1;
+        } else {
+          std::uint64_t h = s & 127u;
+          while (slot[h] != 0 && segs[slot[h] - 1] != s) h = (h + 1) & 127u;
+          if (slot[h] == 0) {
+            segs[n] = s;
+            covered[n] = 0;
+            slot[h] = static_cast<std::uint8_t>(n + 1);
+            j = n++;
+          } else {
+            j = slot[h] - 1;
+          }
+        }
+        if (!is_load) cover(j, a, s);
+      }
+    }
+    // Replay-line dedupe for the scatter path: only the count of distinct
+    // lines matters, so a sorted-insertion pass replaces the historical
+    // sort+unique.
+    std::uint64_t lines[2 * kWarpSize];
+    int m = 0;
+    const auto add_line = [&lines, &m](std::uint64_t v) {
+      int k = m;
+      while (k > 0 && lines[k - 1] > v) --k;
+      if (k > 0 && lines[k - 1] == v) return;  // duplicate line
+      for (int t = m; t > k; --t) lines[t] = lines[t - 1];
+      lines[k] = v;
+      ++m;
+    };
+    for (const std::uint64_t a : addrs) {
+      add_line(a / 128);
+      const std::uint64_t last = (a + bytes_per_lane - 1) / 128;
+      if (last != a / 128) add_line(last);
+    }
+    replay_lines = m;
   }
 
   const std::uint64_t requested =
@@ -124,7 +197,10 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
     // segment, merge, and write it back — the hidden cost of masked,
     // scattered stores that the predicated variants avoid.
     if (!is_load && covered[i] != byte_mask(seg_bytes)) ++rmw_reads;
-    const std::uint64_t page = segs[i] * seg_bytes / page_bytes_;
+    const std::uint64_t seg_base = segs[i] * seg_bytes;
+    const std::uint64_t page = page_shift_ >= 0
+                                   ? seg_base >> page_shift_
+                                   : seg_base / page_bytes_;
     if (page_trace_ != nullptr)
       page_trace_->push_back(page);
     else if (!rows_.access(page))
@@ -134,20 +210,9 @@ void Coalescer::access(Kind kind, std::span<const std::uint64_t> addrs,
   // Instruction replay: the LSU re-issues the instruction once per 128-byte
   // L1 line beyond the first, regardless of access kind (store segments are
   // 32 B for traffic purposes, but replay granularity is the line).
-  {
-    std::uint64_t lines[2 * kWarpSize];
-    int m = 0;
-    for (const std::uint64_t a : addrs) {
-      lines[m++] = a / 128;
-      const std::uint64_t last = (a + bytes_per_lane - 1) / 128;
-      if (last != lines[m - 1]) lines[m++] = last;
-    }
-    std::sort(lines, lines + m);
-    m = static_cast<int>(std::unique(lines, lines + m) - lines);
-    if (m > 1) {
-      stats.issue_cycles +=
-          static_cast<std::uint64_t>(m - 1) * kCyclesLsuReplay;
-    }
+  if (replay_lines > 1) {
+    stats.issue_cycles +=
+        static_cast<std::uint64_t>(replay_lines - 1) * kCyclesLsuReplay;
   }
 
   if (is_load) {

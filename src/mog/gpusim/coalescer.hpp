@@ -37,7 +37,21 @@ namespace mog::gpusim {
 class DramRowLru {
  public:
   /// Returns true when `page` is already open; opens it (LRU) otherwise.
-  bool access(std::uint64_t page);
+  /// Inline: the serial launch path consults it once per DRAM transaction.
+  bool access(std::uint64_t page) {
+    for (int i = 0; i < open_count_; ++i) {
+      if (open_rows_[i] == page) {
+        for (int j = i; j > 0; --j) open_rows_[j] = open_rows_[j - 1];
+        open_rows_[0] = page;
+        return true;
+      }
+    }
+    if (open_count_ < kOpenRows) ++open_count_;
+    for (int j = open_count_ - 1; j > 0; --j)
+      open_rows_[j] = open_rows_[j - 1];
+    open_rows_[0] = page;
+    return false;
+  }
 
  private:
   static constexpr int kOpenRows = 32;
@@ -49,8 +63,23 @@ class SegmentCache {
  public:
   explicit SegmentCache(int capacity);
 
-  /// Returns true on hit; inserts (LRU) on miss.
-  bool access(std::uint64_t segment_id);
+  /// Returns true on hit; inserts (LRU) on miss. Inline: consulted once per
+  /// distinct load segment of every warp memory instruction.
+  bool access(std::uint64_t segment_id) {
+    // MRU-first linear scan; on hit, move to front.
+    for (int i = 0; i < size_; ++i) {
+      if (lines_[i] == segment_id) {
+        for (int j = i; j > 0; --j) lines_[j] = lines_[j - 1];
+        lines_[0] = segment_id;
+        return true;
+      }
+    }
+    // Miss: shift and insert at front, evicting the LRU tail.
+    if (size_ < capacity_) ++size_;
+    for (int j = size_ - 1; j > 0; --j) lines_[j] = lines_[j - 1];
+    lines_[0] = segment_id;
+    return false;
+  }
   void clear();
   int capacity() const { return capacity_; }
 
@@ -75,6 +104,11 @@ class Coalescer {
   /// Reset per-warp state (segment cache) at warp start.
   void begin_warp();
 
+  /// Restore construction state (cold caches, inline row accounting) so a
+  /// persistent per-worker Coalescer can be reused across launches without
+  /// reallocating — equivalent to destroying and rebuilding it.
+  void reset();
+
   /// Deferred row accounting for the parallel block executor: while a trace
   /// is installed, DRAM-bound transactions append their page id to it
   /// instead of consulting the local open-row LRU, and dram_page_switches is
@@ -91,6 +125,14 @@ class Coalescer {
   int load_segment_bytes_;
   int store_segment_bytes_;
   int page_bytes_;
+  // Segment/page sizes are powers of two on every real device, so the
+  // address→segment and segment→page maps are shifts; -1 falls back to
+  // division for a hypothetical non-power-of-two spec. Hardware 64-bit
+  // division dominated Coalescer::access before this (dozens per warp
+  // memory instruction).
+  int load_seg_shift_;
+  int store_seg_shift_;
+  int page_shift_;
   SegmentCache l1_;
   DramRowLru rows_;
   std::vector<std::uint64_t>* page_trace_ = nullptr;

@@ -19,6 +19,9 @@ Device::Device(DeviceSpec spec) : spec_(std::move(spec)), memory_() {
   worker_arena(0);  // the launching thread's arena always exists
 }
 
+Device::WorkerState::WorkerState(const DeviceSpec& spec)
+    : coalescer{spec, kEffectiveL1SegmentsPerWarp} {}
+
 void Device::validate(const LaunchConfig& config) const {
   MOG_CHECK(config.num_threads >= 1, "launch needs at least one thread");
   MOG_CHECK(config.threads_per_block >= kWarpSize &&
@@ -45,44 +48,54 @@ KernelStats Device::run_blocks(
       config.threads_per_block;
   stats.num_blocks = static_cast<std::uint64_t>(blocks);
 
-  // Per-worker private accumulation state. Everything a kernel touches
-  // outside device memory is either per-worker (stats, coalescer, arena) or
-  // per-block (BlockCtx), so kernel callables never contend; device memory
-  // itself is safe because blocks only write locations owned by their own
-  // threads.
+  // Per-worker private accumulation state, persistent across launches (see
+  // WorkerState in the header). Everything a kernel touches outside device
+  // memory is either per-worker (stats, coalescer, arena) or per-block
+  // (BlockCtx), so kernel callables never contend; device memory itself is
+  // safe because blocks only write locations owned by their own threads.
   const int pool =
       blocks > 1 ? resolved_executor_threads(spec_.executor_threads) : 1;
-  struct WorkerState {
-    explicit WorkerState(const DeviceSpec& spec)
-        : coalescer{spec, kEffectiveL1SegmentsPerWarp} {}
-    KernelStats stats;
-    Coalescer coalescer;
-    int peak_reg_words = 0;
-  };
-  std::vector<WorkerState> workers;
-  workers.reserve(static_cast<std::size_t>(pool));
+  while (workers_.size() < static_cast<std::size_t>(pool)) {
+    workers_.emplace_back(spec_);
+    worker_arena(static_cast<int>(workers_.size()) - 1);
+  }
   for (int w = 0; w < pool; ++w) {
-    workers.emplace_back(spec_);
-    worker_arena(w);
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    ws.stats = KernelStats{};
+    ws.coalescer.reset();  // cold caches + inline row accounting
+    ws.peak_reg_words = 0;
+    ws.page_trace.clear();
   }
 
-  // DRAM open-row state spans blocks in the serial model, so workers record
-  // the page id of every DRAM-bound transaction instead of counting
-  // switches inline; the traces replay below in block order through one
-  // DramRowLru, reproducing the serial counts exactly regardless of thread
-  // count or block-to-worker assignment.
-  std::vector<std::vector<std::uint64_t>> page_traces(
-      static_cast<std::size_t>(blocks));
+  // DRAM open-row state spans blocks in the serial model. A parallel launch
+  // therefore never counts switches inline: each worker records the page id
+  // of every DRAM-bound transaction in its flat trace arena, block_spans_
+  // remembers which slice each block produced, and the traces replay below
+  // in block order through one DramRowLru — reproducing the serial counts
+  // exactly regardless of thread count or block-to-worker assignment. A
+  // serial launch (pool == 1) skips tracing entirely: its single worker
+  // visits blocks in block order with a freshly reset open-row LRU, so
+  // inline accounting already sees the transactions in replay order.
+  const bool traced = pool > 1;
+  if (traced) {
+    block_spans_.assign(static_cast<std::size_t>(blocks), TraceSpan{});
+    for (int w = 0; w < pool; ++w)
+      workers_[static_cast<std::size_t>(w)].coalescer.set_page_trace(
+          &workers_[static_cast<std::size_t>(w)].page_trace);
+  }
 
   const auto run_one = [&](std::int64_t b, int w) {
-    WorkerState& ws = workers[static_cast<std::size_t>(w)];
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     const int threads_in_block = static_cast<int>(std::min<std::int64_t>(
         config.threads_per_block,
         config.num_threads - b * config.threads_per_block));
-    ws.coalescer.set_page_trace(&page_traces[static_cast<std::size_t>(b)]);
+    const std::size_t trace_begin = ws.page_trace.size();
     BlockCtx blk{b, threads_in_block, config.threads_per_block, ws.stats,
                  ws.coalescer, worker_arenas_[static_cast<std::size_t>(w)]};
     block_fn(blk);
+    if (traced)
+      block_spans_[static_cast<std::size_t>(b)] =
+          TraceSpan{w, trace_begin, ws.page_trace.size()};
     if (blk.peak_reg_words() > ws.peak_reg_words)
       ws.peak_reg_words = blk.peak_reg_words();
   };
@@ -99,15 +112,21 @@ KernelStats Device::run_blocks(
   // merged field is an integer sum or max, so the totals are independent of
   // which worker executed which block.
   int peak_reg_words = 0;
-  for (WorkerState& ws : workers) {
+  for (int w = 0; w < pool; ++w) {
+    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     stats += ws.stats;
     if (ws.peak_reg_words > peak_reg_words) peak_reg_words = ws.peak_reg_words;
   }
 
-  DramRowLru rows;
-  for (const auto& trace : page_traces)
-    for (const std::uint64_t page : trace)
-      if (!rows.access(page)) ++stats.dram_page_switches;
+  if (traced) {
+    DramRowLru rows;
+    for (const TraceSpan& span : block_spans_) {
+      const auto& trace =
+          workers_[static_cast<std::size_t>(span.worker)].page_trace;
+      for (std::size_t i = span.begin; i < span.end; ++i)
+        if (!rows.access(trace[i])) ++stats.dram_page_switches;
+    }
+  }
 
   stats.regs_per_thread = std::min(
       static_cast<int>(peak_reg_words * kRegisterPressureScale + 0.5) +

@@ -76,8 +76,7 @@ class BlockCtx {
     for (int w = 0; w < warps; ++w) {
       const int lanes = std::min<int>(kWarpSize,
                                       threads_in_block_ - w * kWarpSize);
-      RegTracker regs;
-      ExecEnv env{&stats_, &regs, &coalescer_, 0xffffffffu};
+      ExecEnv env{&stats_, &coalescer_, 0xffffffffu};
       coalescer_.begin_warp();
       // RAII: a kernel that throws mid-warp (MOG_CHECK, fault injection)
       // must not leave this thread's exec_env() dangling for the next
@@ -89,8 +88,14 @@ class BlockCtx {
                      lanes};
         fn(warp);
       }
+      // Per-op issue/instruction charges and register high-water marks
+      // accumulate in thread-locals (branch-free hot path, see
+      // detail::charge / detail::track_alloc); fold them in here, once per
+      // warp, while the scope is still installed.
+      detail::flush_charges(stats_);
       ++stats_.num_warps;
-      if (regs.peak_words > peak_reg_words_) peak_reg_words_ = regs.peak_words;
+      if (detail::tl_regs.peak_words > peak_reg_words_)
+        peak_reg_words_ = detail::tl_regs.peak_words;
     }
   }
 
@@ -193,11 +198,33 @@ class Device {
 
   std::vector<std::byte>& worker_arena(int worker);
 
+  /// Per-worker accumulation state, persistent across launches so the
+  /// steady-state frame loop performs no per-launch allocation: stats and
+  /// caches are reset at launch entry instead of rebuilt, and each worker's
+  /// flat page-trace arena keeps its high-water capacity. Defined out of
+  /// line (ctor needs timing constants private to kernel_launch.cpp).
+  struct WorkerState {
+    explicit WorkerState(const DeviceSpec& spec);
+    KernelStats stats;
+    Coalescer coalescer;
+    int peak_reg_words = 0;
+    std::vector<std::uint64_t> page_trace;  ///< parallel launches only
+  };
+  /// Block id → the slice of its worker's page_trace it produced, so the
+  /// block-order DRAM replay can walk traces without per-block vectors.
+  struct TraceSpan {
+    int worker = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
   DeviceSpec spec_;
   DeviceMemory memory_;
   /// One shared-memory arena per host worker (index 0 = launching thread);
   /// grown lazily so a serial device never pays for a pool's worth.
   std::vector<std::vector<std::byte>> worker_arenas_;
+  std::vector<WorkerState> workers_;
+  std::vector<TraceSpan> block_spans_;
   std::unique_ptr<BlockExecutor> executor_;  ///< lazy; created on first
                                              ///< parallel launch
   FaultHook* fault_hook_ = nullptr;

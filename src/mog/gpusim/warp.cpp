@@ -1,11 +1,35 @@
 #include "mog/gpusim/warp.hpp"
 
+#include <cmath>
+
 namespace mog::gpusim {
 
-ExecEnv*& exec_env() {
-  thread_local ExecEnv* env = nullptr;
-  return env;
+namespace detail {
+
+// Function multiversioning keeps the build portable while letting hosts
+// with an FMA unit run the lane loop as vector vfmadd instructions (the
+// "fma" clone; glibc's ifunc resolver picks it at load time). Both clones
+// produce the one correctly-rounded IEEE 754 fma result per lane, so the
+// choice is invisible to every counter and mask byte.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MOG_FMA_CLONES __attribute__((target_clones("fma", "default")))
+#else
+#define MOG_FMA_CLONES
+#endif
+
+MOG_FMA_CLONES
+void fma_lanes(const float* a, const float* b, const float* c, float* r) {
+  for (int i = 0; i < kWarpSize; ++i) r[i] = std::fma(a[i], b[i], c[i]);
 }
+
+MOG_FMA_CLONES
+void fma_lanes(const double* a, const double* b, const double* c, double* r) {
+  for (int i = 0; i < kWarpSize; ++i) r[i] = std::fma(a[i], b[i], c[i]);
+}
+
+#undef MOG_FMA_CLONES
+
+}  // namespace detail
 
 WarpCtx::WarpCtx(ExecEnv& env, std::int64_t global_thread_base,
                  int active_lanes)

@@ -10,6 +10,12 @@
 // Bookkeeping (issue-cycle charging and live-register tracking) happens
 // through a thread-local ExecEnv installed while a warp is running; Vec<T>
 // objects constructed outside a kernel are inert.
+//
+// Charging is the interpreter's hottest path (every arithmetic operator and
+// memory op pays it), so it is a branch-free add into a constinit
+// thread-local accumulator that the launcher flushes into KernelStats at
+// warp end — see detail::charge for why this is bit-identical to charging
+// each op under the active-mask check.
 #pragma once
 
 #include <algorithm>
@@ -29,6 +35,8 @@ namespace mog::gpusim {
 
 using Addr = std::int64_t;  ///< lane-level index/address arithmetic type
 
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
 /// Register footprint of one lane value, in 32-bit words. Addresses (Addr)
 /// occupy a 64-bit register pair, as on real hardware.
 template <typename T>
@@ -41,33 +49,54 @@ inline constexpr int kRegWords = sizeof(T) <= 4 ? 1 : 2;
 struct RegTracker {
   int live_words = 0;
   int peak_words = 0;
-  void alloc(int words) {
-    live_words += words;
-    if (live_words > peak_words) peak_words = live_words;
-  }
-  void release(int words) { live_words -= words; }
 };
 
 struct ExecEnv {
   KernelStats* stats = nullptr;
-  RegTracker* regs = nullptr;
   Coalescer* coalescer = nullptr;
-  std::uint32_t active_mask = 0xffffffffu;
+  std::uint32_t active_mask = kFullMask;
 };
+
+namespace detail {
+
+/// Per-warp issue accounting, accumulated branch-free (see charge below) and
+/// folded into KernelStats by flush_charges at warp end.
+struct ChargeAcc {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+/// constinit: accesses compile to a direct TLS load with no dynamic-init
+/// guard and no function call — the whole point of the accumulators. The
+/// register tracker lives here too (not behind an ExecEnv pointer): Vec
+/// construction/destruction is the most frequent interpreter event, and a
+/// direct TLS read-modify-write beats the two dependent pointer loads of
+/// env->regs->.
+inline thread_local constinit ChargeAcc tl_charge{};
+inline thread_local constinit RegTracker tl_regs{};
+inline thread_local constinit ExecEnv* tl_env = nullptr;
+
+}  // namespace detail
 
 /// Currently-running warp environment (nullptr outside kernel execution).
 /// Thread-local: every host executor worker installs its own environment
 /// while simulating a warp, so warp bookkeeping never needs locking.
-ExecEnv*& exec_env();
+inline ExecEnv*& exec_env() { return detail::tl_env; }
 
 /// RAII installation of the thread-local ExecEnv. Kernel callables can throw
 /// (MOG_CHECK, fault injection), and a dangling exec_env() pointer left by a
 /// failed launch would silently poison the next launch's divergence and
 /// register accounting on this thread — the guard makes the reset
-/// exception-safe.
+/// exception-safe. Installation also rearms the charge accumulator, so
+/// cycles charged outside any kernel (inert host-side Vec arithmetic) are
+/// dropped rather than billed to the next warp.
 class ExecEnvScope {
  public:
-  explicit ExecEnvScope(ExecEnv& env) { exec_env() = &env; }
+  explicit ExecEnvScope(ExecEnv& env) {
+    exec_env() = &env;
+    detail::tl_charge = {};
+    detail::tl_regs = {};
+  }
   ~ExecEnvScope() { exec_env() = nullptr; }
 
   ExecEnvScope(const ExecEnvScope&) = delete;
@@ -76,11 +105,28 @@ class ExecEnvScope {
 
 namespace detail {
 
+/// Unconditional accumulate — no environment load, no branch. Bit-identical
+/// to the historical per-op `env != nullptr && active_mask != 0` check:
+///  * inside a kernel the active mask is never zero at a charge site — the
+///    WarpCtx control-flow scopes only execute a branch body under a
+///    non-empty mask (if_then skips an untaken branch, while_any exits
+///    before the body once every lane has dropped out), and a warp starts
+///    with at least one live lane;
+///  * outside any kernel the accumulator is never flushed — ExecEnvScope
+///    zeroes it on installation, so idle charges vanish exactly as the old
+///    null-environment check dropped them.
 inline void charge(int cycles) {
-  if (ExecEnv* env = exec_env(); env != nullptr && env->active_mask != 0) {
-    env->stats->issue_cycles += static_cast<std::uint64_t>(cycles);
-    ++env->stats->warp_instructions;
-  }
+  tl_charge.cycles += static_cast<std::uint64_t>(cycles);
+  ++tl_charge.instructions;
+}
+
+/// Fold the accumulated per-warp charges into `stats` and rearm. The
+/// launcher calls this once per warp; integer sums make the deferred flush
+/// bit-identical to charging `stats` op by op.
+inline void flush_charges(KernelStats& stats) {
+  stats.issue_cycles += tl_charge.cycles;
+  stats.warp_instructions += tl_charge.instructions;
+  tl_charge = {};
 }
 
 template <typename T>
@@ -114,14 +160,14 @@ inline void charge_sqrt() {
 /// kernel but destroyed while one runs would otherwise drive live_words
 /// negative and corrupt peak_words / regs_per_thread).
 inline bool track_alloc(int words) {
-  if (ExecEnv* env = exec_env(); env != nullptr) {
-    env->regs->alloc(words);
-    return true;
-  }
-  return false;
+  if (tl_env == nullptr) return false;
+  RegTracker& r = tl_regs;
+  r.live_words += words;
+  if (r.live_words > r.peak_words) r.peak_words = r.live_words;
+  return true;
 }
 inline void track_release(int words) {
-  if (ExecEnv* env = exec_env(); env != nullptr) env->regs->release(words);
+  if (tl_env != nullptr) tl_regs.live_words -= words;
 }
 
 }  // namespace detail
@@ -156,14 +202,24 @@ class Vec {
     if (tracked_) detail::track_release(kRegWords<T>);
   }
 
+  /// Result-register factory for ops that assign every lane: registers are
+  /// tracked exactly like the default constructor's, but the lanes start
+  /// unspecified, skipping a dead 32-lane zero fill per temporary.
+  static Vec uninit() { return Vec{UninitTag{}}; }
+
   T& operator[](int lane) { return lane_[static_cast<std::size_t>(lane)]; }
   const T& operator[](int lane) const {
     return lane_[static_cast<std::size_t>(lane)];
   }
 
+  /// Raw lane storage, for the tight per-lane loops of the operators below
+  /// (contiguous pointer iteration keeps them trivially vectorizable).
+  std::array<T, kWarpSize>& lanes() { return lane_; }
+  const std::array<T, kWarpSize>& lanes() const { return lane_; }
+
   /// Lane-indexed iota helper: lane i gets base + i * step.
   static Vec iota(T base, T step = T{1}) {
-    Vec v;
+    Vec v = uninit();
     for (int i = 0; i < kWarpSize; ++i)
       v.lane_[static_cast<std::size_t>(i)] =
           static_cast<T>(base + step * static_cast<T>(i));
@@ -171,6 +227,9 @@ class Vec {
   }
 
  private:
+  struct UninitTag {};
+  explicit Vec(UninitTag) : tracked_(detail::track_alloc(kRegWords<T>)) {}
+
   std::array<T, kWarpSize> lane_;
   bool tracked_;  ///< allocation was counted at construction (see track_alloc)
 };
@@ -197,22 +256,29 @@ struct Pred {
   template <typename T>                                                 \
   inline Vec<T> operator op(const Vec<T>& a, const Vec<T>& b) {         \
     detail::charge_arith<T>();                                          \
-    Vec<T> r;                                                           \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b[i];            \
+    Vec<T> r = Vec<T>::uninit();                                        \
+    T* rp = r.lanes().data();                                           \
+    const T* ap = a.lanes().data();                                     \
+    const T* bp = b.lanes().data();                                     \
+    for (int i = 0; i < kWarpSize; ++i) rp[i] = ap[i] op bp[i];         \
     return r;                                                           \
   }                                                                     \
   template <typename T>                                                 \
   inline Vec<T> operator op(const Vec<T>& a, T b) {                     \
     detail::charge_arith<T>();                                          \
-    Vec<T> r;                                                           \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] op b;               \
+    Vec<T> r = Vec<T>::uninit();                                        \
+    T* rp = r.lanes().data();                                           \
+    const T* ap = a.lanes().data();                                     \
+    for (int i = 0; i < kWarpSize; ++i) rp[i] = ap[i] op b;             \
     return r;                                                           \
   }                                                                     \
   template <typename T>                                                 \
   inline Vec<T> operator op(T a, const Vec<T>& b) {                     \
     detail::charge_arith<T>();                                          \
-    Vec<T> r;                                                           \
-    for (int i = 0; i < kWarpSize; ++i) r[i] = a op b[i];               \
+    Vec<T> r = Vec<T>::uninit();                                        \
+    T* rp = r.lanes().data();                                           \
+    const T* bp = b.lanes().data();                                     \
+    for (int i = 0; i < kWarpSize; ++i) rp[i] = a op bp[i];             \
     return r;                                                           \
   }
 
@@ -224,40 +290,67 @@ MOG_GPUSIM_BINOP(*)
 template <typename T>
 inline Vec<T> operator/(const Vec<T>& a, const Vec<T>& b) {
   detail::charge_div<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = b[i] != T{0} ? a[i] / b[i] : T{0};
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  const T* bp = b.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i)
+    rp[i] = bp[i] != T{0} ? ap[i] / bp[i] : T{0};
   return r;
 }
 template <typename T>
 inline Vec<T> operator/(const Vec<T>& a, T b) {
   detail::charge_div<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = b != T{0} ? a[i] / b : T{0};
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i) rp[i] = b != T{0} ? ap[i] / b : T{0};
   return r;
 }
 template <typename T>
 inline Vec<T> operator/(T a, const Vec<T>& b) {
   detail::charge_div<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = b[i] != T{0} ? a / b[i] : T{0};
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* bp = b.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i)
+    rp[i] = bp[i] != T{0} ? a / bp[i] : T{0};
   return r;
 }
 
 template <typename T>
 inline Vec<T> vabs(const Vec<T>& a) {
   detail::charge_arith<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = std::abs(a[i]);
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i) rp[i] = std::abs(ap[i]);
   return r;
 }
 
 template <typename T>
 inline Vec<T> vsqrt(const Vec<T>& a) {
   detail::charge_sqrt<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > T{0} ? std::sqrt(a[i]) : T{0};
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i)
+    rp[i] = ap[i] > T{0} ? std::sqrt(ap[i]) : T{0};
   return r;
 }
+
+namespace detail {
+
+/// Correctly-rounded per-lane fused multiply-add r[i] = fma(a[i],b[i],c[i]).
+/// Out of line with function multiversioning (see warp.cpp): on hosts with
+/// an FMA unit the clone inlines std::fma into vector vfmadd instructions —
+/// bit-identical to the libm call, since IEEE 754 defines exactly one
+/// correctly-rounded fma result — replacing 32 libm calls per vfma with a
+/// few vector ops. The default clone keeps the portable libm path.
+void fma_lanes(const float* a, const float* b, const float* c, float* r);
+void fma_lanes(const double* a, const double* b, const double* c, double* r);
+
+}  // namespace detail
 
 /// Fused multiply-add a*b + c — contracted, matching GPU codegen. CPU
 /// reference code compiles with -ffp-contract=off, so this is the mechanism
@@ -265,24 +358,31 @@ inline Vec<T> vsqrt(const Vec<T>& a) {
 template <typename T>
 inline Vec<T> vfma(const Vec<T>& a, const Vec<T>& b, const Vec<T>& c) {
   detail::charge_arith<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = std::fma(a[i], b[i], c[i]);
+  Vec<T> r = Vec<T>::uninit();
+  detail::fma_lanes(a.lanes().data(), b.lanes().data(), c.lanes().data(),
+                    r.lanes().data());
   return r;
 }
 
 template <typename T>
 inline Vec<T> vmax(const Vec<T>& a, const Vec<T>& b) {
   detail::charge_arith<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  const T* bp = b.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i) rp[i] = ap[i] > bp[i] ? ap[i] : bp[i];
   return r;
 }
 
 template <typename T>
 inline Vec<T> vmin(const Vec<T>& a, const Vec<T>& b) {
   detail::charge_arith<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  const T* bp = b.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i) rp[i] = ap[i] < bp[i] ? ap[i] : bp[i];
   return r;
 }
 
@@ -291,8 +391,10 @@ inline Vec<To> vcast(const Vec<From>& a) {
   // Conversion cost follows the destination width: a cast producing doubles
   // runs at the half-rate DP pipe, int targets at the int pipe.
   detail::charge_arith<To>();
-  Vec<To> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = static_cast<To>(a[i]);
+  Vec<To> r = Vec<To>::uninit();
+  To* rp = r.lanes().data();
+  const From* ap = a.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i) rp[i] = static_cast<To>(ap[i]);
   return r;
 }
 
@@ -300,8 +402,12 @@ inline Vec<To> vcast(const Vec<From>& a) {
 template <typename T>
 inline Vec<T> select(const Pred& p, const Vec<T>& a, const Vec<T>& b) {
   detail::charge_arith<T>();
-  Vec<T> r;
-  for (int i = 0; i < kWarpSize; ++i) r[i] = p.lane(i) ? a[i] : b[i];
+  Vec<T> r = Vec<T>::uninit();
+  T* rp = r.lanes().data();
+  const T* ap = a.lanes().data();
+  const T* bp = b.lanes().data();
+  for (int i = 0; i < kWarpSize; ++i)
+    rp[i] = (p.bits >> i) & 1u ? ap[i] : bp[i];
   return r;
 }
 
@@ -309,16 +415,21 @@ inline Vec<T> select(const Pred& p, const Vec<T>& a, const Vec<T>& b) {
   template <typename T>                                                 \
   inline Pred name(const Vec<T>& a, const Vec<T>& b) {                  \
     detail::charge_arith<T>();                                          \
-    Pred p;                                                             \
-    for (int i = 0; i < kWarpSize; ++i) p.set(i, a[i] op b[i]);         \
-    return p;                                                           \
+    const T* ap = a.lanes().data();                                     \
+    const T* bp = b.lanes().data();                                     \
+    std::uint32_t bits = 0;                                             \
+    for (int i = 0; i < kWarpSize; ++i)                                 \
+      bits |= static_cast<std::uint32_t>(ap[i] op bp[i]) << i;          \
+    return Pred{bits};                                                  \
   }                                                                     \
   template <typename T>                                                 \
   inline Pred name(const Vec<T>& a, T b) {                              \
     detail::charge_arith<T>();                                          \
-    Pred p;                                                             \
-    for (int i = 0; i < kWarpSize; ++i) p.set(i, a[i] op b);            \
-    return p;                                                           \
+    const T* ap = a.lanes().data();                                     \
+    std::uint32_t bits = 0;                                             \
+    for (int i = 0; i < kWarpSize; ++i)                                 \
+      bits |= static_cast<std::uint32_t>(ap[i] op b) << i;              \
+    return Pred{bits};                                                  \
   }
 
 MOG_GPUSIM_CMP(vlt, <)
@@ -421,8 +532,14 @@ class WarpCtx {
   template <typename T>
   void set(Vec<T>& dst, const Vec<T>& src) {
     detail::charge_arith<T>();
+    if (env_.active_mask == kFullMask) {
+      dst.lanes() = src.lanes();
+      return;
+    }
+    T* dp = dst.lanes().data();
+    const T* sp = src.lanes().data();
     for (int i = 0; i < kWarpSize; ++i)
-      if ((env_.active_mask >> i) & 1u) dst[i] = src[i];
+      if ((env_.active_mask >> i) & 1u) dp[i] = sp[i];
   }
 
   /// Warp-wide OR-reduction of a predicate over active lanes (models the
@@ -453,17 +570,31 @@ class WarpCtx {
   /// inactive lanes read as zero. Records one warp load instruction.
   template <typename T, typename S>
   Vec<T> load(const DevSpan<S>& span, const Vec<Addr>& idx) {
-    Vec<T> out;
+    Vec<T> out;  // zero-initialized: inactive lanes read as zero
     std::array<std::uint64_t, kWarpSize> addrs;
+    T* op = out.lanes().data();
+    const Addr* ip = idx.lanes().data();
     int n = 0;
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (((env_.active_mask >> i) & 1u) == 0) continue;
-      const Addr j = idx[i];
-      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
-                 "device load out of bounds");
-      out[i] = static_cast<T>(span.data[j]);
-      addrs[static_cast<std::size_t>(n++)] =
-          span.addr_of(static_cast<std::size_t>(j));
+    if (env_.active_mask == kFullMask) {
+      for (int i = 0; i < kWarpSize; ++i) {
+        const Addr j = ip[i];
+        MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                   "device load out of bounds");
+        op[i] = static_cast<T>(span.data[j]);
+        addrs[static_cast<std::size_t>(i)] =
+            span.addr_of(static_cast<std::size_t>(j));
+      }
+      n = kWarpSize;
+    } else {
+      for (int i = 0; i < kWarpSize; ++i) {
+        if (((env_.active_mask >> i) & 1u) == 0) continue;
+        const Addr j = ip[i];
+        MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                   "device load out of bounds");
+        op[i] = static_cast<T>(span.data[j]);
+        addrs[static_cast<std::size_t>(n++)] =
+            span.addr_of(static_cast<std::size_t>(j));
+      }
     }
     env_.coalescer->access(Coalescer::Kind::kLoad,
                            std::span<const std::uint64_t>{addrs.data(),
@@ -477,15 +608,29 @@ class WarpCtx {
   template <typename S, typename T>
   void store(const DevSpan<S>& span, const Vec<Addr>& idx, const Vec<T>& v) {
     std::array<std::uint64_t, kWarpSize> addrs;
+    const Addr* ip = idx.lanes().data();
+    const T* vp = v.lanes().data();
     int n = 0;
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (((env_.active_mask >> i) & 1u) == 0) continue;
-      const Addr j = idx[i];
-      MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
-                 "device store out of bounds");
-      span.data[j] = static_cast<S>(v[i]);
-      addrs[static_cast<std::size_t>(n++)] =
-          span.addr_of(static_cast<std::size_t>(j));
+    if (env_.active_mask == kFullMask) {
+      for (int i = 0; i < kWarpSize; ++i) {
+        const Addr j = ip[i];
+        MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                   "device store out of bounds");
+        span.data[j] = static_cast<S>(vp[i]);
+        addrs[static_cast<std::size_t>(i)] =
+            span.addr_of(static_cast<std::size_t>(j));
+      }
+      n = kWarpSize;
+    } else {
+      for (int i = 0; i < kWarpSize; ++i) {
+        if (((env_.active_mask >> i) & 1u) == 0) continue;
+        const Addr j = ip[i];
+        MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < span.count,
+                   "device store out of bounds");
+        span.data[j] = static_cast<S>(vp[i]);
+        addrs[static_cast<std::size_t>(n++)] =
+            span.addr_of(static_cast<std::size_t>(j));
+      }
     }
     env_.coalescer->access(Coalescer::Kind::kStore,
                            std::span<const std::uint64_t>{addrs.data(),
@@ -497,13 +642,15 @@ class WarpCtx {
   // --- shared memory ---------------------------------------------------------
   template <typename T>
   Vec<T> shared_load(const SharedSpan<T>& sh, const Vec<Addr>& idx) {
-    Vec<T> out;
+    Vec<T> out;  // zero-initialized: inactive lanes read as zero
+    T* op = out.lanes().data();
+    const Addr* ip = idx.lanes().data();
     for (int i = 0; i < kWarpSize; ++i) {
       if (((env_.active_mask >> i) & 1u) == 0) continue;
-      const Addr j = idx[i];
+      const Addr j = ip[i];
       MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < sh.count,
                  "shared load out of bounds");
-      out[i] = sh.data[j];
+      op[i] = sh.data[j];
     }
     charge_shared<T>(sh, idx);
     return out;
@@ -512,12 +659,14 @@ class WarpCtx {
   template <typename T>
   void shared_store(const SharedSpan<T>& sh, const Vec<Addr>& idx,
                     const Vec<T>& v) {
+    const Addr* ip = idx.lanes().data();
+    const T* vp = v.lanes().data();
     for (int i = 0; i < kWarpSize; ++i) {
       if (((env_.active_mask >> i) & 1u) == 0) continue;
-      const Addr j = idx[i];
+      const Addr j = ip[i];
       MOG_ASSERT(j >= 0 && static_cast<std::size_t>(j) < sh.count,
                  "shared store out of bounds");
-      sh.data[j] = v[i];
+      sh.data[j] = vp[i];
     }
     charge_shared<T>(sh, idx);
   }
@@ -558,24 +707,43 @@ void WarpCtx::charge_shared(const SharedSpan<T>& sh, const Vec<Addr>& idx) {
   // Distinct 32-bit word addresses per bank, computed on the first word of
   // each element.
   std::uint32_t words[kWarpSize];
+  const Addr* ip = idx.lanes().data();
   int n = 0;
-  for (int i = 0; i < kWarpSize; ++i) {
-    if (((env_.active_mask >> i) & 1u) == 0) continue;
-    words[n++] = static_cast<std::uint32_t>(
-        (sh.byte_offset + static_cast<std::uint64_t>(idx[i]) * sizeof(T)) / 4);
+  if (env_.active_mask == kFullMask) {
+    for (int i = 0; i < kWarpSize; ++i)
+      words[i] = static_cast<std::uint32_t>(
+          (sh.byte_offset + static_cast<std::uint64_t>(ip[i]) * sizeof(T)) /
+          4);
+    n = kWarpSize;
+  } else {
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (((env_.active_mask >> i) & 1u) == 0) continue;
+      words[n++] = static_cast<std::uint32_t>(
+          (sh.byte_offset + static_cast<std::uint64_t>(ip[i]) * sizeof(T)) /
+          4);
+    }
   }
+  // Count each *distinct* word once per bank (same word from several lanes
+  // is a broadcast). Dedupe through a small open-addressed set instead of
+  // the O(n²) pairwise scan; set membership is order-independent, so the
+  // conflict degree is unchanged.
+  std::uint32_t seen[64];
+  bool used[64] = {};
   int bank_count[kWarpSize] = {};
   int degree = 1;
   for (int a = 0; a < n; ++a) {
-    bool dup = false;
-    for (int b = 0; b < a; ++b)
-      if (words[b] == words[a]) {
-        dup = true;  // broadcast: same word, no conflict
+    std::uint32_t h = words[a] & 63u;
+    for (;;) {
+      if (!used[h]) {
+        used[h] = true;
+        seen[h] = words[a];
+        const int bank = static_cast<int>(words[a] % 32u);
+        if (++bank_count[bank] > degree) degree = bank_count[bank];
         break;
       }
-    if (dup) continue;
-    const int bank = static_cast<int>(words[a] % 32u);
-    if (++bank_count[bank] > degree) degree = bank_count[bank];
+      if (seen[h] == words[a]) break;  // broadcast: same word, no conflict
+      h = (h + 1) & 63u;
+    }
   }
   ++env_.stats->shared_accesses;
   env_.stats->shared_cycles += static_cast<std::uint64_t>(

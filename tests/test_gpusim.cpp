@@ -168,6 +168,33 @@ TEST(Coalescer, InactiveWarpEmitsNothing) {
   EXPECT_EQ(s.load_instructions, 0u);
 }
 
+TEST(Coalescer, LsuReplayCountsDistinctLinesOnce) {
+  // Two ascending unaligned 8-byte accesses both straddling the same 128 B
+  // line boundary: lines {0, 1} are touched, so the replay charge is one
+  // re-issue — the monotone fast path must not recount the shared line_last
+  // per element.
+  const KernelStats s =
+      run_access(Coalescer::Kind::kLoad, {0x10000 + 124, 0x10000 + 126}, 8);
+  const KernelStats one =
+      run_access(Coalescer::Kind::kLoad, {0x10000 + 124}, 8);
+  EXPECT_EQ(s.issue_cycles - one.issue_cycles, 0u)
+      << "second straddler touches no new line: no extra replay";
+}
+
+TEST(Coalescer, LsuReplayMatchesBetweenMonotoneAndScatterOrder) {
+  // The same address multiset must charge the same replay cycles whether the
+  // lanes issue it ascending (monotone fast path) or permuted (scatter
+  // path): distinct-line count is order-independent.
+  std::vector<std::uint64_t> asc;
+  for (int i = 0; i < 32; ++i) asc.push_back(0x30000 + 124 + 2 * i);
+  std::vector<std::uint64_t> perm = asc;
+  std::swap(perm[0], perm[31]);
+  std::swap(perm[5], perm[17]);
+  const KernelStats a = run_access(Coalescer::Kind::kLoad, asc, 8);
+  const KernelStats b = run_access(Coalescer::Kind::kLoad, perm, 8);
+  EXPECT_EQ(a.issue_cycles, b.issue_cycles);
+}
+
 TEST(SegmentCache, LruEviction) {
   SegmentCache cache{2};
   EXPECT_FALSE(cache.access(1));
