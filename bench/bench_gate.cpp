@@ -13,6 +13,11 @@
 // Options:
 //   --rel-tol X      default relative tolerance band (default 0.02)
 //   --include-wall   also gate metrics prefixed "wall_" (off by default)
+//   --warn-wall X    non-fatal tripwire: print a warning (and a "warn_wall"
+//                    verdict in the --json diff) for any "wall_*" metric
+//                    whose fresh value exceeds baseline * X; never fails the
+//                    gate — wall clocks are machine-dependent noise, but a
+//                    gross slowdown should still be visible in CI logs
 //   --json PATH      also write a machine-readable diff (per-metric
 //                    baseline/fresh/rel-delta/verdict rows) for CI artifacts
 #include <algorithm>
@@ -36,7 +41,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline file|dir> <fresh file|dir> "
-               "[--rel-tol X] [--include-wall] [--json PATH]\n",
+               "[--rel-tol X] [--include-wall] [--warn-wall X] [--json PATH]\n",
                argv0);
   return 1;
 }
@@ -92,6 +97,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rel-tol") == 0) {
       if (++i == argc) return usage(argv[0]);
       options.default_rel_tol = std::atof(argv[i]);
+    } else if (std::strcmp(argv[i], "--warn-wall") == 0) {
+      if (++i == argc) return usage(argv[0]);
+      options.warn_wall_factor = std::atof(argv[i]);
+      if (!(options.warn_wall_factor > 0)) {
+        std::fprintf(stderr, "--warn-wall factor must be > 0\n");
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--json") == 0) {
       if (++i == argc) return usage(argv[0]);
       json_path = argv[i];

@@ -57,6 +57,12 @@ std::string GateFinding::describe() const {
           "'%s/%s' moved %.3g -> %.3g (%.2f%% > %.2f%% tolerance)",
           case_name.c_str(), metric.c_str(), baseline, fresh,
           100.0 * rel_delta, 100.0 * tolerance);
+    case Kind::kWallSlowdown:
+      // tolerance carries the warn *factor* here (×), not a relative band.
+      return strprintf("'%s/%s' wall-clock %.3g -> %.3g (%.2fx > %.2gx warn "
+                       "factor; not fatal)",
+                       case_name.c_str(), metric.c_str(), baseline, fresh,
+                       baseline > 0 ? fresh / baseline : 0.0, tolerance);
   }
   return "?";
 }
@@ -112,6 +118,21 @@ GateResult gate_reports(const Json& baseline, const Json& fresh,
         const Json* fval =
             fmetrics != nullptr ? fmetrics->find(metric) : nullptr;
         if (fval != nullptr && fval->is_number()) row.fresh = fval->as_number();
+        // Non-fatal tripwire: flag gross wall-clock slowdowns (fresh beyond
+        // baseline × factor) without letting machine noise fail the gate.
+        if (options.warn_wall_factor > 0 && row.baseline > options.abs_tol &&
+            row.fresh > row.baseline * options.warn_wall_factor) {
+          GateFinding w;
+          w.kind = GateFinding::Kind::kWallSlowdown;
+          w.case_name = case_name;
+          w.metric = metric;
+          w.baseline = row.baseline;
+          w.fresh = row.fresh;
+          w.rel_delta = (row.fresh - row.baseline) / row.baseline;
+          w.tolerance = options.warn_wall_factor;
+          result.warnings.push_back(std::move(w));
+          row.verdict = "warn_wall";
+        }
         result.comparisons.push_back(std::move(row));
         continue;
       }
@@ -162,8 +183,13 @@ std::string format_gate_result(const std::string& label,
       "%s: %s — %d cases, %d metrics compared, %d wall metrics skipped",
       label.c_str(), result.ok() ? "PASS" : "FAIL", result.cases_compared,
       result.metrics_compared, result.metrics_skipped);
+  if (!result.warnings.empty())
+    out += strprintf(", %zu wall warning%s", result.warnings.size(),
+                     result.warnings.size() == 1 ? "" : "s");
   for (const GateFinding& f : result.failures)
     out += "\n  ✗ " + f.describe();
+  for (const GateFinding& w : result.warnings)
+    out += "\n  ⚠ " + w.describe();
   return out;
 }
 
@@ -195,6 +221,10 @@ Json gate_result_to_json(const std::string& label, const GateResult& result) {
   Json failures = Json::array();
   for (const GateFinding& f : result.failures) failures.push_back(f.describe());
   root.set("failures", std::move(failures));
+
+  Json warnings = Json::array();
+  for (const GateFinding& w : result.warnings) warnings.push_back(w.describe());
+  root.set("warnings", std::move(warnings));
   return root;
 }
 

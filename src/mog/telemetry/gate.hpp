@@ -28,6 +28,11 @@ struct GateOptions {
   /// metrics whose baseline value is 0, where a relative band is undefined).
   double abs_tol = 1e-12;
   bool include_wall = false;  ///< also gate "wall_*" metrics
+  /// Non-fatal wall-clock tripwire: when > 0 (and include_wall is off), a
+  /// "wall_*" metric whose fresh value exceeds baseline × factor records a
+  /// warning instead of a failure — visibility into gross slowdowns without
+  /// making CI flake on machine noise. 0 disables.
+  double warn_wall_factor = 0;
 };
 
 struct GateFinding {
@@ -36,6 +41,7 @@ struct GateFinding {
     kMissingCase,    ///< baseline case absent from the fresh report
     kMissingMetric,  ///< baseline metric absent from the fresh case
     kSchemaMismatch, ///< schema_version differs or structure malformed
+    kWallSlowdown,   ///< wall_* metric past the warn factor (warning only)
   };
   Kind kind = Kind::kRegression;
   std::string case_name;
@@ -57,7 +63,8 @@ struct GateComparison {
   double fresh = 0;
   double rel_delta = 0;
   double tolerance = 0;
-  const char* verdict = "pass";  ///< "pass", "fail", "skipped_wall", "missing"
+  const char* verdict = "pass";  ///< "pass", "fail", "skipped_wall",
+                                 ///< "warn_wall", "missing"
 };
 
 struct GateResult {
@@ -65,6 +72,8 @@ struct GateResult {
   int metrics_compared = 0;
   int metrics_skipped = 0;  ///< wall_* metrics not gated
   std::vector<GateFinding> failures;
+  /// Non-fatal findings (kWallSlowdown); never affect ok().
+  std::vector<GateFinding> warnings;
   /// Every metric row visited, verdicts included — not just the failures.
   std::vector<GateComparison> comparisons;
 

@@ -1,6 +1,6 @@
 // Perf-regression gate: pass/fail verdicts, tolerance bands (default,
-// per-metric override, absolute slack), wall-clock skipping, and schema
-// guarding.
+// per-metric override, absolute slack), wall-clock skipping, the non-fatal
+// --warn-wall tripwire, and schema guarding.
 #include <gtest/gtest.h>
 
 #include "mog/telemetry/bench_report.hpp"
@@ -117,6 +117,66 @@ TEST(BenchGate, WallClockMetricsAreSkippedUnlessRequested) {
   GateOptions opt;
   opt.include_wall = true;
   EXPECT_FALSE(gate_reports(base.to_json(), fresh.to_json(), opt).ok());
+}
+
+TEST(BenchGate, WarnWallFlagsGrossSlowdownWithoutFailing) {
+  BenchReporter base{"unit"};
+  base.add_case("A").metric("wall_ms", 100.0).metric("speedup", 96.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("wall_ms", 350.0).metric("speedup", 96.0);
+
+  GateOptions opt;
+  opt.warn_wall_factor = 3.0;
+  const GateResult r = gate_reports(base.to_json(), fresh.to_json(), opt);
+  EXPECT_TRUE(r.ok());  // warnings never fail the gate
+  EXPECT_EQ(r.metrics_skipped, 1);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  const GateFinding& w = r.warnings[0];
+  EXPECT_EQ(w.kind, GateFinding::Kind::kWallSlowdown);
+  EXPECT_EQ(w.case_name, "A");
+  EXPECT_EQ(w.metric, "wall_ms");
+  EXPECT_DOUBLE_EQ(w.baseline, 100.0);
+  EXPECT_DOUBLE_EQ(w.fresh, 350.0);
+  EXPECT_DOUBLE_EQ(w.tolerance, 3.0);
+  EXPECT_FALSE(w.describe().empty());
+
+  // The comparison row carries the verdict for the machine-readable diff.
+  const GateComparison& row = r.comparisons[0];
+  EXPECT_EQ(row.metric, "wall_ms");
+  EXPECT_EQ(row.verdict, "warn_wall");
+
+  const Json doc = gate_result_to_json("unit", r);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  ASSERT_EQ(doc.find("warnings")->as_array().size(), 1u);
+}
+
+TEST(BenchGate, WarnWallStaysQuietWithinTheFactor) {
+  BenchReporter base{"unit"};
+  base.add_case("A").metric("wall_ms", 100.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("wall_ms", 299.0);  // < 3x: machine noise
+
+  GateOptions opt;
+  opt.warn_wall_factor = 3.0;
+  const GateResult r = gate_reports(base.to_json(), fresh.to_json(), opt);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.warnings.empty());
+  EXPECT_EQ(r.comparisons[0].verdict, "skipped_wall");
+}
+
+TEST(BenchGate, WarnWallIgnoresZeroBaselines) {
+  // A 0 wall baseline (sub-ms case rounded down) has no meaningful factor;
+  // the tripwire must not fire on it.
+  BenchReporter base{"unit"};
+  base.add_case("A").metric("wall_ms", 0.0);
+  BenchReporter fresh{"unit"};
+  fresh.add_case("A").metric("wall_ms", 50.0);
+
+  GateOptions opt;
+  opt.warn_wall_factor = 3.0;
+  const GateResult r = gate_reports(base.to_json(), fresh.to_json(), opt);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.warnings.empty());
 }
 
 TEST(BenchGate, SchemaVersionMismatchFails) {
