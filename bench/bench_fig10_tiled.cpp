@@ -37,6 +37,19 @@ void untiled_reference(benchmark::State& state) {
 }
 BENCHMARK(untiled_reference)->Iterations(1)->Unit(benchmark::kMillisecond);
 
+// Tiling composes with step G: the fused postproc epilogue cleans each
+// mask of the group in one extra launch per frame (tile = one 640-thread
+// block, same block shape as the MoG group launch).
+void tiled_fused_postproc(benchmark::State& state) {
+  ExperimentConfig cfg = base_config();
+  cfg.level = kernels::OptLevel::kG;
+  cfg.tiled = true;
+  cfg.tiled_config.frame_group = 8;
+  if (cfg.frames < 16) cfg.frames = 16;
+  run_and_record(state, "g8+G", cfg);
+}
+BENCHMARK(tiled_fused_postproc)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 void epilogue() {
   std::vector<Row> rows;
   {
@@ -61,6 +74,15 @@ void epilogue() {
                         g == 1 ? 90.0 : (g == 32 ? 60.0 : 0.0),
                         100.0 * r.occupancy.achieved, group_latency_ms}});
     ++i;
+  }
+  {
+    const auto& r = Registry::instance().get("g8+G");
+    rows.push_back(Row{"tiled g=8 + G",
+                       {r.speedup, 0,
+                        100.0 * r.per_frame.memory_access_efficiency(), 0,
+                        100.0 * r.occupancy.achieved,
+                        1e3 * r.kernel_timing.total_seconds *
+                            fullhd_ratio(r.config) * 8}});
   }
   print_table("Fig. 10 — tiled MoG vs frame-group size (double, K=3)",
               {"speedup", "paper_spd", "mem_eff%", "paper_me%", "occup%",

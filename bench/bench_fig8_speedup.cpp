@@ -4,6 +4,14 @@
 //
 // Paper values (3 Gaussians, double, 450 full-HD frames):
 //   A 13x, B 41x, C 57x, D 85x, E 86x, F 97x.
+//
+// Two cases extend the paper's ladder with mask post-processing:
+//   F+pp — level F plus the UNFUSED device postproc chain (one stencil
+//          launch per stage, intermediates round-tripping DRAM);
+//   G    — the same stages fused into one epilogue launch (arXiv
+//          1509.04394's kernel-fusion technique). The gated launches_per_
+//          frame metric pins the fusion win: 4 launches/frame at F+pp,
+//          2 at G.
 #include "bench_util.hpp"
 
 #include "mog/kernels/opt_level.hpp"
@@ -11,9 +19,9 @@
 namespace mog::bench {
 namespace {
 
-const double kPaperSpeedup[6] = {13, 41, 57, 85, 86, 97};
-const double kPaperBranchEff[6] = {0, 0, 94.5, 96.0, 99.5, 99.5};
-const double kPaperOccupancy[6] = {0, 52, 52, 61, 56, 65};
+const double kPaperSpeedup[7] = {13, 41, 57, 85, 86, 97, 0};
+const double kPaperBranchEff[7] = {0, 0, 94.5, 96.0, 99.5, 99.5, 0};
+const double kPaperOccupancy[7] = {0, 52, 52, 61, 56, 65, 0};
 
 void ladder(benchmark::State& state) {
   const auto level = static_cast<kernels::OptLevel>(state.range(0));
@@ -22,9 +30,17 @@ void ladder(benchmark::State& state) {
   run_and_record(state, kernels::to_string(level), cfg);
 }
 BENCHMARK(ladder)
-    ->DenseRange(0, 5)
+    ->DenseRange(0, 6)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+void postproc_unfused(benchmark::State& state) {
+  ExperimentConfig cfg = base_config();
+  cfg.level = kernels::OptLevel::kF;
+  cfg.postproc.enabled = true;  // same stages as G, unfused (3 extra launches)
+  run_and_record(state, "F+pp", cfg);
+}
+BENCHMARK(postproc_unfused)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void epilogue() {
   std::printf("\nOptimization levels (paper Tables II & III):\n");
@@ -51,7 +67,24 @@ void epilogue() {
        "mem_eff%", "occup%", "paper_occ%"},
       rows,
       "paper_br/occ values read off Fig. 8(b); 0 = not reported for "
-      "that level.");
+      "that level (G extends the paper's ladder).");
+
+  // Step G's headline: the fused epilogue vs the same stages unfused.
+  const auto& unfused = Registry::instance().get("F+pp");
+  const auto& fused = Registry::instance().get("G");
+  print_table("Step G — kernel fusion of the postproc chain",
+              {"launches/frame", "ms/frame", "dram_MB/frame"},
+              {Row{"F + unfused chain",
+                   {unfused.launches_per_frame,
+                    1e3 * unfused.gpu_seconds_fullhd450 / 450,
+                    1e-6 * static_cast<double>(
+                               unfused.per_frame.bytes_transferred())}},
+               Row{"G (fused)",
+                   {fused.launches_per_frame,
+                    1e3 * fused.gpu_seconds_fullhd450 / 450,
+                    1e-6 * static_cast<double>(
+                               fused.per_frame.bytes_transferred())}}},
+              "identical cleaned masks; the deltas are pure fusion.");
 }
 
 }  // namespace

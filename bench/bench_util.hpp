@@ -135,6 +135,7 @@ inline void run_and_record(benchmark::State& state, const std::string& key,
               1e3 * result.kernel_timing.total_seconds * fullhd_ratio(cfg))
       .metric("occupancy", result.occupancy.achieved)
       .metric("fg_disagreement", result.fg_disagreement)
+      .metric("launches_per_frame", result.launches_per_frame)
       .metric("wall_ms", wall_ms)
       .counters(result.per_frame);
 }

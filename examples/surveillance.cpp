@@ -140,7 +140,8 @@ int main(int argc, char** argv) try {
     camera.render(t, nullptr, &truth);
     totals += compare_masks(m, truth);
     ++truth_frames;
-    const auto blobs = find_blobs(m, /*min_area=*/60);
+    // Qualified: ADL would also find mog::find_blobs (a different helper).
+    const auto blobs = ::find_blobs(m, /*min_area=*/60);
     detections += static_cast<int>(blobs.size());
     if (t == frames - 1) {
       std::printf("frame %d: %zu detections\n", t, blobs.size());

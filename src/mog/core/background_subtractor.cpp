@@ -81,6 +81,7 @@ class GpuWrapper final : public Engine {
     pc.tiled = cfg.tiled;
     pc.tiled_config = cfg.tiled_config;
     pc.threads_per_block = cfg.threads_per_block;
+    pc.postproc = cfg.postproc;
     return pc;
   }
   GpuMogPipeline<T> pipeline_;

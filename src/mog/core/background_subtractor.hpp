@@ -4,7 +4,8 @@
 // grayscale frames and produces foreground masks (255 = foreground). The
 // backend selects between the real CPU implementations (serial reference,
 // SIMD-restructured, multi-threaded) and the simulated-GPU pipeline at any
-// of the paper's optimization levels A..F or the tiled/windowed variant.
+// of the optimization levels A..G (A..F from the paper, G = kernel-fused
+// mask post-processing) or the tiled/windowed variant.
 //
 // Quickstart:
 //
@@ -28,6 +29,7 @@
 #include "mog/gpusim/timing_model.hpp"
 #include "mog/kernels/opt_level.hpp"
 #include "mog/kernels/tiled_kernel.hpp"
+#include "mog/postproc/validation.hpp"
 
 namespace mog {
 
@@ -37,7 +39,7 @@ class BackgroundSubtractor {
     kCpuSerial,    ///< single-threaded Algorithm 1 (the reference)
     kCpuSimd,      ///< SIMD-restructured (no-sort, predicated)
     kCpuParallel,  ///< multi-threaded row bands
-    kGpuSim,       ///< simulated-GPU kernels (optimization levels A..F)
+    kGpuSim,       ///< simulated-GPU kernels (optimization levels A..G)
   };
 
   struct Config {
@@ -52,6 +54,9 @@ class BackgroundSubtractor {
     bool tiled = false;
     kernels::TiledConfig tiled_config;
     int threads_per_block = 128;
+    /// Mask post-processing; level G force-enables the fused epilogue (see
+    /// MaskPostprocConfig in gpu_pipeline.hpp). Ignored by CPU backends.
+    MaskPostprocConfig postproc;
 
     // CPU parallel backend option (0 = hardware concurrency).
     int num_threads = 0;

@@ -11,15 +11,19 @@
 //                                 (Algorithms 4 -> 5)
 //   F  + register reduction     — drop the diff[] array, recompute the
 //                                 difference in the foreground test
+//   G  + kernel fusion          — the despeckle/close mask-validation
+//                                 epilogue runs on-device, fused into the
+//                                 frame pass (arXiv 1509.04394's technique);
+//                                 only the cleaned mask crosses DRAM
 #pragma once
 
 namespace mog::kernels {
 
-enum class OptLevel { kA, kB, kC, kD, kE, kF };
+enum class OptLevel { kA, kB, kC, kD, kE, kF, kG };
 
-inline constexpr OptLevel kAllLevels[] = {OptLevel::kA, OptLevel::kB,
-                                          OptLevel::kC, OptLevel::kD,
-                                          OptLevel::kE, OptLevel::kF};
+inline constexpr OptLevel kAllLevels[] = {
+    OptLevel::kA, OptLevel::kB, OptLevel::kC, OptLevel::kD,
+    OptLevel::kE, OptLevel::kF, OptLevel::kG};
 
 /// A uses the interleaved (array-of-structures) parameter layout.
 inline bool uses_aos_layout(OptLevel level) { return level == OptLevel::kA; }
@@ -37,6 +41,13 @@ inline bool keeps_diff_array(OptLevel level) { return level <= OptLevel::kE; }
 /// C onward overlaps transfers with kernel execution.
 inline bool uses_overlap(OptLevel level) { return level >= OptLevel::kC; }
 
+/// G fuses the mask-validation epilogue (despeckle + close) into the device
+/// frame pass; the MoG phase itself keeps F's structure (predicated, no
+/// sort, recomputed diff).
+inline bool uses_fused_postproc(OptLevel level) {
+  return level >= OptLevel::kG;
+}
+
 inline const char* to_string(OptLevel level) {
   switch (level) {
     case OptLevel::kA: return "A";
@@ -45,6 +56,7 @@ inline const char* to_string(OptLevel level) {
     case OptLevel::kD: return "D";
     case OptLevel::kE: return "E";
     case OptLevel::kF: return "F";
+    case OptLevel::kG: return "G";
   }
   return "?";
 }
@@ -57,6 +69,7 @@ inline const char* describe(OptLevel level) {
     case OptLevel::kD: return "+ branch reduction (no sort)";
     case OptLevel::kE: return "+ predicated execution";
     case OptLevel::kF: return "+ register reduction";
+    case OptLevel::kG: return "+ kernel fusion (fused mask postproc)";
   }
   return "?";
 }

@@ -203,7 +203,8 @@ std::string render_step_report(const ProfileDump& dump) {
   const std::vector<const KernelProfile*> ladder = ladder_cases(dump);
   if (ladder.size() < 2) return "";
 
-  std::string out = "optimization-step attribution (paper's A..F ladder):\n";
+  std::string out =
+      "optimization-step attribution (A..F ladder + fused-postproc G):\n";
   for (std::size_t i = 1; i < ladder.size(); ++i) {
     const KernelProfile& a = *ladder[i - 1];
     const KernelProfile& b = *ladder[i];

@@ -15,6 +15,8 @@ namespace mog {
 std::string ExperimentConfig::label() const {
   std::string s = tiled ? strprintf("Tiled(g=%d)", tiled_config.frame_group)
                         : kernels::to_string(level);
+  // G implies postproc; below G an enabled postproc is worth calling out.
+  if (postproc.enabled && !kernels::uses_fused_postproc(level)) s += "+pp";
   s += strprintf(" K=%d %s", params.num_components,
                  precision == Precision::kDouble ? "double" : "float");
   return s;
@@ -101,6 +103,7 @@ ExperimentResult run_impl(const ExperimentConfig& cfg) {
   pipe_cfg.tiled = cfg.tiled;
   pipe_cfg.tiled_config = cfg.tiled_config;
   pipe_cfg.threads_per_block = cfg.threads_per_block;
+  pipe_cfg.postproc = cfg.postproc;
   pipe_cfg.device = cfg.device;
   GpuMogPipeline<T> gpu{pipe_cfg};
 
@@ -116,13 +119,24 @@ ExperimentResult run_impl(const ExperimentConfig& cfg) {
   ConfusionCounts vs_truth;
 
   FrameU8 frame, truth, cpu_fg, gpu_fg;
+  // The pipeline may clean its masks (validated() force-enables postproc at
+  // level G); give the CPU reference masks the identical host stages so the
+  // comparison measures MoG divergence, not the clean-up itself.
+  const MaskPostprocConfig& pp = gpu.config().postproc;
+  const bool pp_active = pp.enabled && pp.validation.active();
   auto compare = [&](int t, const FrameU8& gpu_mask, const FrameU8& cpu_mask) {
     if (t < cfg.warmup_frames) return;
+    FrameU8 cleaned;
+    const FrameU8* ref = &cpu_mask;
+    if (pp_active) {
+      cleaned = validate_foreground(cpu_mask, pp.validation);
+      ref = &cleaned;
+    }
     if (cfg.measure_quality) {
-      msssim_sum += ms_ssim(gpu_mask, cpu_mask);
+      msssim_sum += ms_ssim(gpu_mask, *ref);
       ++quality_frames;
     }
-    disagreement_sum += mask_disagreement(gpu_mask, cpu_mask);
+    disagreement_sum += mask_disagreement(gpu_mask, *ref);
     vs_truth += compare_masks(gpu_mask, scene.truth(t));
   };
 
@@ -164,6 +178,9 @@ ExperimentResult run_impl(const ExperimentConfig& cfg) {
   res.occupancy = gpu.occupancy();
   res.kernel_timing = gpu.per_frame_kernel_timing();
   res.gpu_seconds = gpu.modeled_seconds();
+  res.launches_per_frame = static_cast<double>(gpu.kernel_launches()) /
+                           static_cast<double>(gpu.frames_processed());
+  res.host_postproc_fallbacks = gpu.host_postproc_fallbacks();
 
   const CpuCostModel cost;
   res.cpu_seconds =

@@ -24,6 +24,7 @@
 #include "mog/kernels/tiled_kernel.hpp"
 #include "mog/metrics/confusion.hpp"
 #include "mog/cpu/mog_params.hpp"
+#include "mog/postproc/validation.hpp"
 
 namespace mog {
 
@@ -45,6 +46,12 @@ struct ExperimentConfig {
   kernels::TiledConfig tiled_config;
   int threads_per_block = 128;
 
+  /// Mask post-processing; level G force-enables the fused epilogue. When
+  /// any postproc stage is active the CPU reference masks get the identical
+  /// host stages before quality comparison, so the deltas keep measuring the
+  /// MoG math rather than the (intentional) clean-up.
+  MaskPostprocConfig postproc;
+
   // Simulated device (defaults to the Tesla C2075).
   gpusim::DeviceSpec device;
 
@@ -61,6 +68,12 @@ struct ExperimentResult {
   gpusim::KernelStats per_frame;
   gpusim::Occupancy occupancy;
   gpusim::KernelTiming kernel_timing;
+
+  // Launch accounting: how many kernel launches one frame costs on average
+  // (1 below G without postproc; 1 + stage count with the unfused device
+  // chain; 2 with the fused epilogue — the Fig.-worthy delta of step G).
+  double launches_per_frame = 0;
+  std::uint64_t host_postproc_fallbacks = 0;
 
   // Modeled seconds at the measured scale.
   double gpu_seconds = 0;

@@ -1,6 +1,7 @@
 #include "mog/pipeline/gpu_pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "mog/telemetry/telemetry.hpp"
 
@@ -15,11 +16,22 @@ typename GpuMogPipeline<T>::Config validated(
     const typename GpuMogPipeline<T>::Config& config) {
   MOG_CHECK(config.width > 0 && config.height > 0, "bad pipeline dimensions");
   if (config.tiled) {
-    MOG_CHECK(config.level == kernels::OptLevel::kF,
-              "the tiled variant builds on optimization level F");
+    MOG_CHECK(config.level == kernels::OptLevel::kF ||
+                  config.level == kernels::OptLevel::kG,
+              "the tiled variant builds on optimization level F (or G, "
+              "which adds the fused postproc epilogue on top)");
     config.tiled_config.validate();
   }
   typename GpuMogPipeline<T>::Config out = config;
+  // Level G *is* the fused postproc epilogue: force-enable it so kG can
+  // never silently run as plain F. A caller-provided ValidationConfig is
+  // kept (an unfusable one falls back to host postproc, with the fallback
+  // counter recording the degradation).
+  if (kernels::uses_fused_postproc(config.level)) {
+    out.postproc.enabled = true;
+    out.postproc.on_device = true;
+  }
+  if (out.postproc.enabled) out.postproc.validation.validate();
   // The pipeline-level executor knob overrides the spec's so callers can
   // pin the thread count without composing a DeviceSpec.
   if (config.executor_threads != 0)
@@ -43,6 +55,15 @@ GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
   for (int i = 0; i < nbuf; ++i) {
     frame_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
     fg_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
+  }
+  if (device_postproc_active()) {
+    for (int i = 0; i < nbuf; ++i)
+      pp_bufs_.push_back(device_.memory().alloc<std::uint8_t>(n));
+    // The unfused chain ping-pongs through global scratch between stages;
+    // the fused epilogue (level G) holds every intermediate in shared memory.
+    if (!kernels::uses_fused_postproc(config_.level))
+      for (int i = 0; i < 2; ++i)
+        pp_scratch_.push_back(device_.memory().alloc<std::uint8_t>(n));
   }
   // Counter export: a globally installed registry observes every launch of
   // this device (survives ResilientPipeline engine rebuilds, which construct
@@ -79,7 +100,9 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
     ++frames_;
     group_masks_.clear();
     group_size_cur_ = 1;
+    postproc_left_ = device_postproc_active() ? 1 : 0;
     downloads_left_ = 1;
+    run_device_postproc();
     download_group_masks();
     if (!fg.same_shape(frame)) fg = FrameU8(config_.width, config_.height);
     fg = group_masks_.back();
@@ -128,9 +151,56 @@ void GpuMogPipeline<T>::finish_group() {
     pending_ = 0;
     group_masks_.clear();
     group_size_cur_ = g;
+    postproc_left_ = device_postproc_active() ? g : 0;
     downloads_left_ = g;
   }
+  run_device_postproc();
   download_group_masks();
+}
+
+/// Drain the device post-processing owed to the current group, one frame at
+/// a time in frame order. Each frame's clean-up reads the (complete,
+/// immutable) raw mask and writes the cleaned buffer, so a launch that
+/// faulted mid-group can simply be re-attempted — the model was updated by
+/// the frame pass and is not touched here.
+template <typename T>
+void GpuMogPipeline<T>::run_device_postproc() {
+  const ValidationConfig& v = config_.postproc.validation;
+  while (postproc_left_ > 0) {
+    const std::size_t i = group_size_cur_ - postproc_left_;
+    if (kernels::uses_fused_postproc(config_.level)) {
+      auto sp = telemetry::maybe_span("fused_postproc", "kernel");
+      sp.arg("frame_buf", static_cast<double>(i));
+      accumulated_ += kernels::launch_fused_postproc(
+          device_, fg_bufs_[i], pp_bufs_[i], config_.width, config_.height, v,
+          postproc_threads_per_block());
+      ++launches_;
+    } else {
+      // Below G the same stages run unfused: one stencil launch per stage,
+      // every intermediate mask round-tripping global memory. This is the
+      // measurable pre-fusion cost that step G removes.
+      std::array<kernels::MaskStageOp, 3> ops{};
+      std::size_t nops = 0;
+      if (v.despeckle) ops[nops++] = kernels::MaskStageOp::kMedian3;
+      if (v.close_radius == 1) {
+        ops[nops++] = kernels::MaskStageOp::kDilate1;
+        ops[nops++] = kernels::MaskStageOp::kErode1;
+      }
+      gpusim::DevSpan<std::uint8_t> src = fg_bufs_[i];
+      for (std::size_t s = 0; s < nops; ++s) {
+        const gpusim::DevSpan<std::uint8_t> dst =
+            s + 1 == nops ? pp_bufs_[i] : pp_scratch_[s % 2];
+        auto sp = telemetry::maybe_span("postproc_stage", "kernel");
+        sp.arg("stage", static_cast<double>(s));
+        accumulated_ += kernels::launch_mask_stage(
+            device_, src, dst, config_.width, config_.height, ops[s],
+            postproc_threads_per_block());
+        ++launches_;
+        src = dst;
+      }
+    }
+    --postproc_left_;
+  }
 }
 
 template <typename T>
@@ -138,10 +208,19 @@ void GpuMogPipeline<T>::download_group_masks() {
   const std::size_t n = state_.num_pixels();
   auto sp = telemetry::maybe_span("download", "transfer");
   sp.arg("masks", static_cast<double>(downloads_left_));
+  // With device postproc the cleaned buffer is what crosses the transfer
+  // boundary; the raw mask stays device-resident.
+  const bool from_pp = device_postproc_active();
   while (downloads_left_ > 0) {
     const std::size_t i = group_size_cur_ - downloads_left_;
     FrameU8 mask(config_.width, config_.height);
-    device_.download(mask.data(), fg_bufs_[i], n);
+    device_.download(mask.data(), (from_pp ? pp_bufs_ : fg_bufs_)[i], n);
+    if (host_postproc_active()) {
+      mask = validate_foreground(mask, config_.postproc.validation);
+      // Wanted the device path but the config is not fusable: record the
+      // degradation instead of diverging silently.
+      if (config_.postproc.on_device) ++host_postproc_fallbacks_;
+    }
     group_masks_.push_back(std::move(mask));
     --downloads_left_;
   }
@@ -212,6 +291,7 @@ int GpuMogPipeline<T>::abort_in_flight() {
     pending_ = 0;
     group_launch_pending_ = false;
   }
+  postproc_left_ = 0;
   downloads_left_ = 0;
   group_size_cur_ = 0;
   return discarded;

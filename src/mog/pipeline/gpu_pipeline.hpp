@@ -10,9 +10,11 @@
 // go through the device's hooked entry points, so an installed
 // gpusim::FaultHook can fail them (TransferError / LaunchError). A failure
 // leaves the pipeline in a *resumable* state — in_flight() reports whether
-// an interrupted group launch or mask download is outstanding, and resume()
-// re-attempts exactly the remaining work without repeating the model update
-// (retries are therefore free of double-update divergence).
+// an interrupted group launch, post-processing launch, or mask download is
+// outstanding, and resume() re-attempts exactly the remaining work without
+// repeating the model update (retries are therefore free of double-update
+// divergence; postproc launches only read the already-written raw mask and
+// are idempotent by construction).
 #pragma once
 
 #include <cstdint>
@@ -25,7 +27,9 @@
 #include "mog/gpusim/timing_model.hpp"
 #include "mog/gpusim/transfer_model.hpp"
 #include "mog/kernels/mog_kernels.hpp"
+#include "mog/kernels/postproc_kernels.hpp"
 #include "mog/kernels/tiled_kernel.hpp"
+#include "mog/postproc/validation.hpp"
 
 namespace mog {
 
@@ -40,6 +44,11 @@ class GpuMogPipeline {
     bool tiled = false;                 ///< §IV-D windowed variant (on top of F)
     kernels::TiledConfig tiled_config;  ///< used when tiled
     int threads_per_block = kernels::kDefaultThreadsPerBlock;
+
+    /// Mask post-processing. Level G (kernel fusion) force-enables this —
+    /// the fused epilogue is what step G *is* — with the fused-friendly
+    /// default stages unless the caller configured its own.
+    MaskPostprocConfig postproc;
 
     /// Simulated device (defaults to the paper's Tesla C2075; pass
     /// gpusim::embedded_device_spec() for the §VI future-work studies).
@@ -68,7 +77,7 @@ class GpuMogPipeline {
   /// True when a device fault interrupted a group launch or mask download;
   /// process()/flush() refuse to run until resume() completes the work.
   bool in_flight() const {
-    return group_launch_pending_ || downloads_left_ > 0;
+    return group_launch_pending_ || postproc_left_ > 0 || downloads_left_ > 0;
   }
 
   /// Re-attempt the interrupted portion of the last operation (group launch
@@ -97,6 +106,22 @@ class GpuMogPipeline {
 
   std::uint64_t frames_processed() const { return frames_; }
   std::uint64_t kernel_launches() const { return launches_; }
+
+  /// Frames whose post-processing ran on the host because the configured
+  /// validation stages are not expressible on the device (postproc.on_device
+  /// requested but ValidationConfig::fusable() is false). Always 0 when the
+  /// device path is active; nonzero means level G silently-degraded — except
+  /// it is not silent, it is this counter.
+  std::uint64_t host_postproc_fallbacks() const {
+    return host_postproc_fallbacks_;
+  }
+
+  /// True when masks are cleaned on the device before the download (the
+  /// fused epilogue at level G, the unfused stencil chain below it).
+  bool device_postproc_active() const {
+    return postproc_active() && config_.postproc.on_device &&
+           config_.postproc.validation.fusable();
+  }
 
   /// Per-frame averaged profiler counters (tiled launches are normalized by
   /// their group size).
@@ -136,7 +161,20 @@ class GpuMogPipeline {
   const gpusim::DeviceSpec& device_spec() const { return device_.spec(); }
 
  private:
+  bool postproc_active() const {
+    return config_.postproc.enabled && config_.postproc.validation.active();
+  }
+  /// Postproc stages that must run on the host (fallback or by request).
+  bool host_postproc_active() const {
+    return postproc_active() && !device_postproc_active();
+  }
+  int postproc_threads_per_block() const {
+    return config_.tiled ? config_.tiled_config.tile_pixels
+                         : config_.threads_per_block;
+  }
+
   void finish_group();
+  void run_device_postproc();
   void download_group_masks();
 
   /// Telemetry: append this launch's upload/kernel/download windows to the
@@ -149,7 +187,13 @@ class GpuMogPipeline {
   gpusim::Device device_;
   kernels::DeviceMogState<T> state_;
   std::vector<gpusim::DevSpan<std::uint8_t>> frame_bufs_;
-  std::vector<gpusim::DevSpan<std::uint8_t>> fg_bufs_;
+  std::vector<gpusim::DevSpan<std::uint8_t>> fg_bufs_;  ///< raw MoG masks
+  /// Cleaned masks (device postproc only) — the download source, so the raw
+  /// mask never crosses the transfer boundary when the epilogue is active.
+  std::vector<gpusim::DevSpan<std::uint8_t>> pp_bufs_;
+  /// Intermediate stages of the unfused chain (below level G); the fused
+  /// epilogue keeps these in shared memory and needs no scratch.
+  std::vector<gpusim::DevSpan<std::uint8_t>> pp_scratch_;
 
   int pending_ = 0;  ///< buffered frames of the current tiled group
   std::vector<FrameU8> group_masks_;
@@ -157,11 +201,13 @@ class GpuMogPipeline {
   // Resumable-operation state (see in_flight()/resume()).
   bool group_launch_pending_ = false;  ///< full group buffered, launch owed
   std::size_t group_size_cur_ = 0;     ///< frames in the group being drained
+  std::size_t postproc_left_ = 0;      ///< frames still owed device postproc
   std::size_t downloads_left_ = 0;     ///< masks still owed by the device
 
   gpusim::KernelStats accumulated_;
   std::uint64_t frames_ = 0;
   std::uint64_t launches_ = 0;
+  std::uint64_t host_postproc_fallbacks_ = 0;
   double modeled_ts_us_ = 0;  ///< cursor of the modeled trace track
 };
 

@@ -9,9 +9,11 @@ namespace {
 
 /// Separable min/max filter: two passes (horizontal, vertical) of a sliding
 /// window — the square structuring element decomposes into two 1-D runs.
-/// kMax = dilation (foreground if ANY window pixel is foreground);
-/// otherwise erosion (foreground only if EVERY window pixel is foreground,
-/// with out-of-frame counting as background).
+/// kMax = dilation (foreground if ANY window pixel is foreground;
+/// out-of-frame pixels are skipped, i.e. pad with the identity element
+/// background); otherwise erosion (foreground only if EVERY in-frame window
+/// pixel is foreground — out-of-frame pixels are skipped, i.e. pad with the
+/// identity element FOREGROUND, so closing stays extensive at the border).
 template <bool kMax>
 FrameU8 minmax_filter(const FrameU8& mask, int radius) {
   MOG_CHECK(radius >= 1 && radius <= 15, "radius must be in [1, 15]");
@@ -78,6 +80,8 @@ FrameU8 median3(const FrameU8& mask) {
           ++total;
           fg += (mask.at(xx, yy) != 0);
         }
+      // Strict majority: ties (even-sized border windows only) clear to
+      // background. The fused device despeckle must match this exactly.
       out.at(x, y) = (2 * fg > total) ? 255 : 0;
     }
   }

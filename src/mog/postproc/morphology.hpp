@@ -16,10 +16,13 @@ namespace mog {
 
 /// Erosion: a pixel survives only if every pixel of the structuring
 /// element's neighbourhood is foreground. Out-of-frame pads with the
-/// operation's identity (foreground), keeping closing extensive at borders.
+/// operation's identity (foreground), keeping closing extensive at borders
+/// (mask ⊆ close(mask) everywhere, including edge and corner pixels).
 FrameU8 erode(const FrameU8& mask, int radius = 1);
 
 /// Dilation: a pixel lights up if any neighbourhood pixel is foreground.
+/// Out-of-frame pads with the identity (background): nothing outside the
+/// frame can light an in-frame pixel.
 FrameU8 dilate(const FrameU8& mask, int radius = 1);
 
 /// Opening (erode then dilate): removes specks smaller than the element.
@@ -29,7 +32,12 @@ FrameU8 morph_open(const FrameU8& mask, int radius = 1);
 FrameU8 morph_close(const FrameU8& mask, int radius = 1);
 
 /// 3x3 binary median (majority of the 9-neighbourhood): despeckles while
-/// preserving object boundaries better than opening.
+/// preserving object boundaries better than opening. The window SHRINKS at
+/// frame borders (6 pixels on an edge, 4 in a corner), and the strict
+/// majority test `2*fg > total` resolves exact ties (possible only in the
+/// even-sized border windows) to BACKGROUND — e.g. a corner pixel with 2 of
+/// its 4 window pixels foreground clears. Host and device despeckle both
+/// pin this tie-break; see test_postproc.cpp.
 FrameU8 median3(const FrameU8& mask);
 
 }  // namespace mog

@@ -12,13 +12,38 @@ void ValidationConfig::validate() const {
             "min_fill_ratio must be in [0, 1]");
 }
 
+void ValidationConfig::validate_fused() const {
+  validate();
+  MOG_CHECK(close_radius <= 1,
+            "fused postproc epilogue supports close_radius <= 1 only");
+  MOG_CHECK(open_radius == 0,
+            "fused postproc epilogue does not support opening");
+  MOG_CHECK(min_blob_area == 0 && min_fill_ratio == 0.0,
+            "fused postproc epilogue does not support blob filtering");
+}
+
 FrameU8 validate_foreground(const FrameU8& raw_mask,
                             const ValidationConfig& config) {
   config.validate();
-  FrameU8 mask = raw_mask;
-  if (config.despeckle) mask = median3(mask);
-  if (config.close_radius > 0) mask = morph_close(mask, config.close_radius);
-  if (config.open_radius > 0) mask = morph_open(mask, config.open_radius);
+  if (!config.active()) return raw_mask;  // identity: no stage, no work
+  // Each enabled stage reads its predecessor's output and replaces the
+  // working copy; the first one reads raw_mask directly, so the pipeline
+  // never materializes a copy that a stage's own output would discard.
+  FrameU8 mask;
+  const FrameU8* cur = &raw_mask;
+  if (config.despeckle) {
+    mask = median3(*cur);
+    cur = &mask;
+  }
+  if (config.close_radius > 0) {
+    mask = morph_close(*cur, config.close_radius);
+    cur = &mask;
+  }
+  if (config.open_radius > 0) {
+    mask = morph_open(*cur, config.open_radius);
+    cur = &mask;
+  }
+  if (cur != &mask) mask = *cur;  // only blob stages enabled
 
   if (config.min_blob_area > 0 || config.min_fill_ratio > 0.0) {
     const LabeledComponents components = label_components(mask);

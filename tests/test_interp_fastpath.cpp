@@ -30,6 +30,7 @@
 
 #include "mog/gpusim/kernel_launch.hpp"
 #include "mog/kernels/mog_kernels.hpp"
+#include "mog/kernels/postproc_kernels.hpp"
 #include "mog/kernels/tiled_kernel.hpp"
 #include "mog/video/scene.hpp"
 
@@ -232,9 +233,40 @@ Snapshot run_divergent(int threads) {
   return snap;
 }
 
+/// Level-G epilogue: MoG frames at F, each raw mask cleaned by the fused
+/// postproc kernel; folds both launches' stats and the cleaned mask. The
+/// ragged variant overhangs the 32-wide tile on both axes.
+Snapshot run_fused_pp(int threads, int w, int h, int num_frames) {
+  Device device = make_device(threads);
+  const MogParams params;
+  const auto tp = TypedMogParams<double>::from(params);
+  DeviceMogState<double> state{device, w, h, params, ParamLayout::kSoA};
+  auto frame_buf = device.memory().alloc<std::uint8_t>(state.num_pixels());
+  auto fg_buf = device.memory().alloc<std::uint8_t>(state.num_pixels());
+  auto pp_buf = device.memory().alloc<std::uint8_t>(state.num_pixels());
+  const SyntheticScene scene{scene_config(w, h)};
+  const ValidationConfig vcfg = fused_validation_config();
+  std::vector<std::uint8_t> fg(state.num_pixels());
+  Snapshot snap;
+  for (int t = 0; t < num_frames; ++t) {
+    const FrameU8 f = scene.frame(t);
+    gpusim::copy_to_device(frame_buf, f.data(), f.size());
+    const KernelStats mog_stats = kernels::launch_mog_frame<double>(
+        device, state, frame_buf, fg_buf, tp, OptLevel::kF);
+    fold_stats(snap, mog_stats);
+    const KernelStats pp_stats = kernels::launch_fused_postproc(
+        device, fg_buf, pp_buf, w, h, vcfg, 128);
+    fold_stats(snap, pp_stats);
+    gpusim::copy_from_device(fg.data(), pp_buf, fg.size());
+    mix(snap, fg.data(), fg.size());
+  }
+  return snap;
+}
+
 constexpr const char* kScenarios[] = {
     "mog_A", "mog_B", "mog_C", "mog_D", "mog_E", "mog_F",
     "tiled", "ragged_A", "ragged_E", "divergent",
+    "fused_pp", "fused_pp_ragged",
 };
 
 Snapshot run_scenario(const std::string& name, int threads) {
@@ -249,6 +281,8 @@ Snapshot run_scenario(const std::string& name, int threads) {
   if (name == "ragged_A") return run_mog(OptLevel::kA, threads, 61, 17, 3);
   if (name == "ragged_E") return run_mog(OptLevel::kE, threads, 61, 17, 3);
   if (name == "divergent") return run_divergent(threads);
+  if (name == "fused_pp") return run_fused_pp(threads, 64, 48, 3);
+  if (name == "fused_pp_ragged") return run_fused_pp(threads, 61, 17, 3);
   ADD_FAILURE() << "unknown scenario " << name;
   return {};
 }
@@ -362,6 +396,26 @@ constexpr Golden kGoldens[] = {
       0x1p+3, 0x1p+5, 0x1.4p+4,
       0x1p+7, 0x1p+9, 0x1.fdf5cd0105198p-1,
       0x1.c71c71c71c71cp-3, 0x1.8e38e38e38e39p-1,}},
+    {"fused_pp",
+     0x6fbd8005376705baull,
+     {0x1.14p+8, 0x1.8p+6, 0x1.78p+8,
+      0x1.8p+6, 0x0p+0, 0x1.78p+15,
+      0x1.8p+11, 0x1.8p+1, 0x1.14p+11,
+      0x1.22p+8, 0x1.ee5p+16, 0x1.75cap+16,
+      0x1.38p+12, 0x1.dap+12, 0x1.44p+11,
+      0x1.8p+4, 0x1.8p+8, 0x1.ap+4,
+      0x1p+7, 0x1.b4p+11, 0x1.ba147ae147ae1p-3,
+      0x1.bcc0ed7303b5dp-1, 0x1.0cfc4a33f128cp-3,}},
+    {"fused_pp_ragged",
+     0x4869cabba3573eccull,
+     {0x1.8p+6, 0x1.1p+5, 0x1.02p+7,
+      0x1.04p+6, 0x1p+6, 0x1.02p+14,
+      0x1.02p+12, 0x1p+1, 0x1.ccp+9,
+      0x1.f8p+6, 0x1.9564p+15, 0x1.2e98p+15,
+      0x1.fa8p+10, 0x1.844p+11, 0x1.0ep+10,
+      0x1.4p+3, 0x1.4p+7, 0x1.ap+4,
+      0x1p+7, 0x1.b4p+11, 0x1.6a2ba8aea2ba9p-3,
+      0x1.b9e0d5b45023ap-1, 0x1.187ca92ebf718p-3,}},
 };
 
 class InterpGoldens : public ::testing::TestWithParam<int> {};

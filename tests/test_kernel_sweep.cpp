@@ -45,13 +45,21 @@ void run_sweep(kernels::OptLevel level, int components) {
   GpuMogPipeline<T> gpu{cfg};
   SerialMog<T> cpu{kW, kH, params};
 
+  // Level G post-processes its masks on the device; the reference gets the
+  // same cleaning (from the validated config) so decisions stay comparable.
+  const MaskPostprocConfig& pp = gpu.config().postproc;
+  const bool pp_active = pp.enabled && pp.validation.active();
+
   FrameU8 cpu_fg, gpu_fg;
   double disagreement = 0;
   for (int t = 0; t < kFrames; ++t) {
     const FrameU8 f = scene.frame(t);
     cpu.apply(f, cpu_fg);
     ASSERT_TRUE(gpu.process(f, gpu_fg));
-    if (t >= 4) disagreement += mask_disagreement(cpu_fg, gpu_fg);
+    if (t >= 4)
+      disagreement += mask_disagreement(
+          pp_active ? validate_foreground(cpu_fg, pp.validation) : cpu_fg,
+          gpu_fg);
   }
   // Decisions track the same-precision CPU reference closely for every
   // configuration (F's diff rewrite flips a small fraction; others are

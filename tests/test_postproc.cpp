@@ -115,6 +115,65 @@ TEST(Morphology, RejectsBadRadius) {
 }
 
 // ---------------------------------------------------------------------------
+// Border semantics — pinned, because the fused device kernel must reproduce
+// them exactly (and the minmax_filter comments used to contradict the code).
+// ---------------------------------------------------------------------------
+
+TEST(MorphologyBorder, ErodePadsOutOfBoundsWithForeground) {
+  // A foreground pixel on the border survives erosion when every IN-BOUNDS
+  // neighbor is foreground: out-of-bounds cells act as foreground (identity
+  // of min), so the frame edge alone cannot erode an object.
+  FrameU8 m = with_rect(8, 8, 0, 0, 2, 2);  // 3x3 block in the corner
+  const FrameU8 e = erode(m, 1);
+  EXPECT_EQ(e.at(0, 0), 255);  // corner: all 3 in-bounds neighbors are fg
+  EXPECT_EQ(e.at(1, 0), 255);  // edge: all 5 in-bounds neighbors are fg
+  EXPECT_EQ(e.at(1, 1), 255);  // interior of the block
+  EXPECT_EQ(e.at(2, 2), 0);    // interior corner: has bg neighbors
+}
+
+TEST(MorphologyBorder, DilatePadsOutOfBoundsWithBackground) {
+  // Dilation treats out-of-bounds as background (identity of max): an empty
+  // mask stays empty, and a border pixel only lights up from real neighbors.
+  const FrameU8 empty(8, 8, 0);
+  EXPECT_EQ(count_fg(dilate(empty, 1)), 0u);
+  FrameU8 m(8, 8, 0);
+  m.at(0, 0) = 255;
+  const FrameU8 d = dilate(m, 1);
+  EXPECT_EQ(count_fg(d), 4u);  // (0,0),(1,0),(0,1),(1,1) only
+}
+
+TEST(MorphologyBorder, ClosingStaysExtensiveAtTheBorder) {
+  // The reason erosion pads with foreground: close(m) ⊇ m must hold at the
+  // frame edge too. A block touching the border must survive closing intact.
+  const FrameU8 m = with_rect(8, 8, 0, 0, 3, 3);
+  const FrameU8 c = morph_close(m, 1);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (m[i]) ASSERT_NE(c[i], 0) << "closing lost a border pixel";
+}
+
+TEST(MorphologyBorder, Median3ShrinksWindowAndBreaksTiesToBackground) {
+  // Border windows shrink (no padding). The vote is a STRICT majority
+  // (2*fg > total), so ties — possible only in the even-sized 2x2 corner
+  // and never in the 6-cell edge or 9-cell interior windows — clear to
+  // background.
+  FrameU8 m(8, 8, 0);
+  // Corner window of (0,0) is {(0,0),(1,0),(0,1),(1,1)}: 2 fg of 4 = tie.
+  m.at(0, 0) = 255;
+  m.at(1, 1) = 255;
+  EXPECT_EQ(median3(m).at(0, 0), 0);
+  // 3 fg of 4 is a strict majority.
+  m.at(1, 0) = 255;
+  EXPECT_EQ(median3(m).at(0, 0), 255);
+  // Edge window of (3,0) has 6 cells; 4 fg of 6 is a strict majority.
+  FrameU8 e(8, 8, 0);
+  e.at(2, 0) = e.at(3, 0) = e.at(4, 0) = e.at(3, 1) = 255;
+  EXPECT_EQ(median3(e).at(3, 0), 255);
+  // 3 fg of 6 is a tie: clears.
+  e.at(3, 1) = 0;
+  EXPECT_EQ(median3(e).at(3, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Connected components
 // ---------------------------------------------------------------------------
 
@@ -232,6 +291,31 @@ TEST(Validation, DefaultConfigPreservesSolidObjects) {
   EXPECT_GE(count_fg(clean), count_fg(m) - 4);
   EXPECT_LE(count_fg(clean), count_fg(m));
   EXPECT_EQ(clean.at(20, 20), 255);
+}
+
+TEST(Validation, AllStagesDisabledReturnsInputUnchanged) {
+  Rng rng{31};
+  FrameU8 m(20, 14, 0);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m[i] = rng.chance(0.5) ? 255 : 0;
+  ValidationConfig cfg;
+  cfg.despeckle = false;
+  cfg.close_radius = 0;
+  cfg.min_blob_area = 0;
+  EXPECT_FALSE(cfg.active());
+  EXPECT_EQ(validate_foreground(m, cfg), m);
+}
+
+TEST(Validation, FusedConfigRunsDespeckleAndClose) {
+  const ValidationConfig cfg = fused_validation_config();
+  EXPECT_TRUE(cfg.active());
+  EXPECT_TRUE(cfg.fusable());
+  FrameU8 m = with_rect(32, 32, 10, 10, 20, 20);
+  m.at(2, 2) = 255;  // speck: removed by the median
+  m.at(15, 15) = 0;  // pinhole: filled by the close
+  const FrameU8 clean = validate_foreground(m, cfg);
+  EXPECT_EQ(clean.at(2, 2), 0);
+  EXPECT_EQ(clean.at(15, 15), 255);
 }
 
 TEST(Validation, RejectsBadConfig) {
