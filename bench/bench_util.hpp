@@ -21,10 +21,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "mog/obs/flame.hpp"
+#include "mog/obs/heatmap.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/pipeline/experiment.hpp"
 #include "mog/telemetry/bench_report.hpp"
 
@@ -69,6 +74,68 @@ inline int finish_bench_report() {
   } catch (const Error& e) {
     std::fprintf(stderr, "failed to write bench report: %s\n", e.what());
     return 1;
+  }
+}
+
+// --- optional profiling capture (MOG_BENCH_PROFILE) --------------------------
+
+/// Process-wide heatmap sink for profiled bench runs. Static storage: the
+/// pipeline reads the installed pointer at construction time, so the sink
+/// must outlive every GpuMogPipeline the benchmarks build.
+inline obs::HeatmapSink& bench_heatmap_sink() {
+  static obs::HeatmapSink sink;
+  return sink;
+}
+
+/// When MOG_BENCH_PROFILE is set, install the heatmap sink and start the
+/// sampling profiler (MOG_BENCH_PROFILE_HZ, default 997 — prime, so the
+/// sampler cannot phase-lock with any periodic work). No-op otherwise, and
+/// the bench's modeled counters are bit-identical either way.
+inline void begin_bench_profile() {
+  if (std::getenv("MOG_BENCH_PROFILE") == nullptr) return;
+  obs::set_heatmap_sink(&bench_heatmap_sink());
+  const int hz = env_int("MOG_BENCH_PROFILE_HZ", 997);
+  if (!obs::Sampler::global().start(hz))
+    std::fprintf(stderr, "bench profile: sampler already running\n");
+}
+
+/// Stop the sampler, attach the profile to the report ("prof" block), and
+/// write the sidecar artifacts next to BENCH_<name>.json:
+///   PROF_<name>.collapsed        collapsed stacks (flamegraph.pl-compatible)
+///   PROF_<name>.speedscope.json  load at https://www.speedscope.app
+///   HEAT_<name>.json             per-block heatmap grids (mogprof --heatmap)
+inline void finish_bench_profile() {
+  if (std::getenv("MOG_BENCH_PROFILE") == nullptr) return;
+  obs::Sampler& sampler = obs::Sampler::global();
+  sampler.stop();
+  const obs::FlameProfile profile = sampler.take();
+  reporter().set_profile(obs::profile_report_json(profile));
+  std::printf("\n%s\n", obs::render_flame_table(profile).c_str());
+
+  if (std::getenv("MOG_BENCH_NO_REPORT") != nullptr) return;
+  const char* dir_env = std::getenv("MOG_BENCH_REPORT_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : ".";
+  const std::string& name = reporter().name();
+  try {
+    std::filesystem::create_directories(dir);
+    const auto write_text = [&](const std::string& path,
+                                const std::string& body) {
+      std::ofstream out(path);
+      MOG_CHECK(out.good(), "cannot open " + path);
+      out << body;
+      MOG_CHECK(out.good(), "short write to " + path);
+      std::printf("bench profile: %s\n", path.c_str());
+    };
+    write_text(dir + "/PROF_" + name + ".collapsed",
+               obs::render_collapsed(profile));
+    write_text(dir + "/PROF_" + name + ".speedscope.json",
+               obs::render_speedscope(profile).dump(2) + "\n");
+    const obs::Heatmap heat = bench_heatmap_sink().snapshot();
+    if (!heat.empty())
+      write_text(dir + "/HEAT_" + name + ".json",
+                 obs::heatmap_to_json(heat).dump(2) + "\n");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "failed to write bench profile: %s\n", e.what());
   }
 }
 
@@ -163,17 +230,20 @@ inline void print_table(const std::string& title,
   if (!footnote.empty()) std::printf("%s\n", footnote.c_str());
 }
 
-/// Standard main: name the report, run benchmarks, run the bench-specific
-/// epilogue, then write BENCH_<name>.json.
+/// Standard main: name the report, run benchmarks (profiled when
+/// MOG_BENCH_PROFILE is set), run the bench-specific epilogue, then write
+/// BENCH_<name>.json plus any PROF_/HEAT_ sidecars.
 #define MOG_BENCH_MAIN(bench_name, epilogue)                       \
   int main(int argc, char** argv) {                                \
     ::mog::bench::reporter().set_name(bench_name);                 \
     ::benchmark::Initialize(&argc, argv);                          \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))      \
       return 1;                                                    \
+    ::mog::bench::begin_bench_profile();                           \
     ::benchmark::RunSpecifiedBenchmarks();                         \
     ::benchmark::Shutdown();                                       \
     epilogue();                                                    \
+    ::mog::bench::finish_bench_profile();                          \
     return ::mog::bench::finish_bench_report();                    \
   }
 

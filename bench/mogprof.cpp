@@ -1,8 +1,10 @@
-// mogprof: nvprof-style digestion of counter dumps.
+// mogprof: nvprof-style digestion of counter dumps and sampling profiles.
 //
 // Usage:
 //   mogprof <dump.json>                     per-kernel table + A..F step report
 //   mogprof --diff <baseline.json> <fresh.json>
+//   mogprof --flame <profile> [--top N]     top-N table from a sampling profile
+//   mogprof --heatmap <heat.json> [--out dir]
 //
 // A dump is either a schema-v1 bench report (BENCH_*.json) or a
 // CounterRegistry::to_json() dump. The tool reconstructs per-kernel
@@ -10,12 +12,25 @@
 // a memory-/compute-bound roofline verdict, and — when the dump's cases are
 // the paper's optimization levels — attributes each A..F step to the
 // counters it moved.
+//
+// --flame accepts a PROF_*.collapsed text file, or any JSON with a "prof"
+// block (a BENCH_*.json written under MOG_BENCH_PROFILE) or that is itself
+// such a block (a /profilez?format=speedscope capture is NOT accepted —
+// fetch format=collapsed instead). --heatmap reads a HEAT_*.json
+// ("mog-heatmap-v1") and prints a summary; with --out it also writes one
+// .pgm and one .csv per metric into the directory.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "mog/common/error.hpp"
+#include "mog/common/strutil.hpp"
+#include "mog/obs/flame.hpp"
+#include "mog/obs/heatmap.hpp"
 #include "mog/obs/profile.hpp"
 
 namespace {
@@ -24,24 +39,102 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump.json>\n"
                "       %s --diff <baseline.json> <fresh.json>\n"
+               "       %s --flame <PROF_*.collapsed | BENCH_*.json> [--top N]\n"
+               "       %s --heatmap <HEAT_*.json> [--out dir]\n"
                "dumps are BENCH_*.json reports or CounterRegistry dumps\n",
-               argv0, argv0);
+               argv0, argv0, argv0, argv0);
   return 1;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MOG_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  MOG_CHECK(!in.bad(), "read failed: " + path);
+  return body.str();
+}
+
+/// Load a sampling profile from a collapsed-stack text file or a JSON doc
+/// carrying (or being) a "prof" report block.
+mog::obs::FlameProfile load_flame(const std::string& path) {
+  const std::string text = read_text_file(path);
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    const mog::telemetry::Json doc = mog::telemetry::Json::parse(text);
+    const mog::telemetry::Json* prof = doc.find("prof");
+    if (prof == nullptr) prof = &doc;
+    MOG_CHECK(prof->find("stacks") != nullptr,
+              path + " has no \"prof\" block (run the bench with "
+                     "MOG_BENCH_PROFILE=1)");
+    return mog::obs::profile_from_report_json(*prof);
+  }
+  return mog::obs::parse_collapsed(text);
+}
+
+int run_flame(const std::string& path, int top_n) {
+  const mog::obs::FlameProfile profile = load_flame(path);
+  std::fputs(mog::obs::render_flame_table(profile, top_n).c_str(), stdout);
+  return 0;
+}
+
+int run_heatmap(const std::string& path, const std::string& out_dir) {
+  const mog::obs::Heatmap map =
+      mog::obs::heatmap_from_json(mog::telemetry::read_json_file(path));
+  std::fputs(mog::obs::render_heatmap_summary(map).c_str(), stdout);
+  if (out_dir.empty()) return 0;
+
+  std::filesystem::create_directories(out_dir);
+  const std::string stem =
+      std::filesystem::path(path).stem().string();
+  const auto write_grid = [&](const char* metric,
+                              const std::vector<double>& grid) {
+    for (const char* ext : {".pgm", ".csv"}) {
+      const std::string file =
+          out_dir + "/" + stem + "_" + metric + ext;
+      std::ofstream out(file);
+      MOG_CHECK(out.good(), "cannot open " + file);
+      out << (std::strcmp(ext, ".pgm") == 0
+                  ? mog::obs::heatmap_to_pgm(grid, map.cells_x, map.cells_y)
+                  : mog::obs::heatmap_to_csv(grid, map.cells_x, map.cells_y));
+      MOG_CHECK(out.good(), "short write to " + file);
+      std::printf("wrote %s\n", file.c_str());
+    }
+  };
+  write_grid("cycles", map.issue_cycles);
+  write_grid("divergence", mog::obs::divergence_grid(map));
+  write_grid("replay", mog::obs::replay_grid(map));
+  write_grid("dram_bytes", map.dram_bytes);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool diff = false;
+  bool diff = false, flame = false, heatmap = false;
+  int top_n = 20;
+  std::string out_dir;
   std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--diff") == 0)
-      diff = true;
-    else
-      positional.emplace_back(argv[i]);
-  }
-
   try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--diff") == 0) {
+        diff = true;
+      } else if (std::strcmp(argv[i], "--flame") == 0) {
+        flame = true;
+      } else if (std::strcmp(argv[i], "--heatmap") == 0) {
+        heatmap = true;
+      } else if (std::strcmp(argv[i], "--top") == 0) {
+        if (++i >= argc) return usage(argv[0]);
+        top_n = mog::parse_int(argv[i], 1, 1000, "--top");
+      } else if (std::strcmp(argv[i], "--out") == 0) {
+        if (++i >= argc) return usage(argv[0]);
+        out_dir = argv[i];
+      } else {
+        positional.emplace_back(argv[i]);
+      }
+    }
+    if (diff + flame + heatmap > 1) return usage(argv[0]);
+
     if (diff) {
       if (positional.size() != 2) return usage(argv[0]);
       const mog::obs::ProfileDump baseline =
@@ -53,6 +146,9 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (positional.size() != 1) return usage(argv[0]);
+    if (flame) return run_flame(positional[0], top_n);
+    if (heatmap) return run_heatmap(positional[0], out_dir);
+
     const mog::obs::ProfileDump dump =
         mog::obs::load_profile_file(positional[0]);
     std::fputs(mog::obs::render_profile_table(dump).c_str(), stdout);

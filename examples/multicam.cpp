@@ -29,10 +29,11 @@
 // mog_fleet_migrations_total counters move on /metrics.
 //
 // --obs-port P exposes the live observability plane (GET /metrics, /healthz,
-// /statusz) on 127.0.0.1:P for the fleet's lifetime (P=0 picks an ephemeral
-// port, printed at startup) and mirrors structured logs to stderr as JSON
-// lines. --hold-seconds S keeps the process (and thus the endpoints) alive S
-// seconds after the run so a scraper can collect the final counters.
+// /statusz, /profilez) on 127.0.0.1:P for the fleet's lifetime (P=0 picks an
+// ephemeral port, printed at startup) and mirrors structured logs to stderr
+// as JSON lines. --hold-seconds S keeps the process (and thus the endpoints)
+// alive S seconds after the run so a scraper can collect the final counters
+// or grab a sampling profile (/profilez?seconds=1&hz=997).
 //
 // Masks, mask counts, and the modeled makespan are deterministic, but the
 // latency percentiles vary run to run: which scheduler round ingests a
@@ -204,7 +205,7 @@ int main(int argc, char** argv) try {
   mog::cluster::DeviceFleet<float> fleet{cfg};
   if (obs_port >= 0)
     std::printf("observability: http://127.0.0.1:%d/metrics (also /healthz, "
-                "/statusz)\n",
+                "/statusz, /profilez)\n",
                 fleet.obs_port());
 
   const mog::SceneConfig presets[] = {

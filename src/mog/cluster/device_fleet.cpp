@@ -7,6 +7,7 @@
 
 #include "mog/common/strutil.hpp"
 #include "mog/cpu/model_io.hpp"
+#include "mog/obs/flame.hpp"
 #include "mog/obs/prometheus.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
@@ -44,6 +45,7 @@ DeviceFleet<T>::DeviceFleet(const FleetConfig& config)
   member.obs_port = -1;  // the fleet owns the observability endpoint
   nodes_.reserve(static_cast<std::size_t>(config_.devices));
   for (int d = 0; d < config_.devices; ++d) {
+    member.profile_label = strprintf("dev%d", d);
     DeviceNode node;
     node.server = std::make_unique<serve::StreamServer<T>>(member);
     nodes_.push_back(std::move(node));
@@ -80,10 +82,13 @@ void DeviceFleet<T>::start_obs_server() {
     r.body = statusz();
     return r;
   });
+  // The sampler is process-global, so one capture covers every device
+  // plane's pump and executor threads ("dev<i>.pump", "exec<w>") at once.
+  obs_http_.handle("/profilez", obs::profilez_response);
   obs_http_.start(config_.obs_port);
   log_.info("fleet observability endpoint up",
             {{"port", obs_http_.port()},
-             {"endpoints", "/metrics /healthz /statusz"}});
+             {"endpoints", "/metrics /healthz /statusz /profilez"}});
 }
 
 template <typename T>

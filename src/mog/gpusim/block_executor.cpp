@@ -1,6 +1,8 @@
 #include "mog/gpusim/block_executor.hpp"
 
 #include "mog/common/error.hpp"
+#include "mog/common/strutil.hpp"
+#include "mog/obs/sampler.hpp"
 
 namespace mog::gpusim {
 
@@ -22,9 +24,11 @@ BlockExecutor::~BlockExecutor() {
 }
 
 void BlockExecutor::worker_loop(int worker) {
+  obs::prof_set_thread_name(strprintf("exec%d", worker).c_str());
   std::uint64_t seen = 0;
   while (true) {
     {
+      const obs::ProfSpan wait_span{obs::ProfTag::kQueueWait};
       std::unique_lock lk{mu_};
       cv_start_.wait(lk, [&] { return generation_ != seen || shutting_down_; });
       if (shutting_down_) return;

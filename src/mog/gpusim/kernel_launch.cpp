@@ -41,6 +41,7 @@ std::vector<std::byte>& Device::worker_arena(int worker) {
 KernelStats Device::run_blocks(
     const LaunchConfig& config,
     const std::function<void(BlockCtx&)>& block_fn) {
+  const obs::ProfSpan launch_span{obs::ProfTag::kKernelLaunch};
   KernelStats stats;
   stats.threads_per_block = config.threads_per_block;
   const std::int64_t blocks =
@@ -84,12 +85,21 @@ KernelStats Device::run_blocks(
           &workers_[static_cast<std::size_t>(w)].page_trace);
   }
 
+  // Per-block counter deltas are only assembled when a sink asks (heatmap
+  // capture); the common path pays one bool. The callbacks run on whichever
+  // worker executed the block — StatsSink::on_block_stats documents the
+  // concurrency contract.
+  const bool block_stats =
+      stats_sink_ != nullptr && stats_sink_->wants_block_stats();
+
   const auto run_one = [&](std::int64_t b, int w) {
     WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     const int threads_in_block = static_cast<int>(std::min<std::int64_t>(
         config.threads_per_block,
         config.num_threads - b * config.threads_per_block));
     const std::size_t trace_begin = ws.page_trace.size();
+    KernelStats before;
+    if (block_stats) before = ws.stats;
     BlockCtx blk{b, threads_in_block, config.threads_per_block, ws.stats,
                  ws.coalescer, worker_arenas_[static_cast<std::size_t>(w)]};
     block_fn(blk);
@@ -98,6 +108,15 @@ KernelStats Device::run_blocks(
           TraceSpan{w, trace_begin, ws.page_trace.size()};
     if (blk.peak_reg_words() > ws.peak_reg_words)
       ws.peak_reg_words = blk.peak_reg_words();
+    if (block_stats) {
+      BlockStats record;
+      record.block_id = b;
+      record.first_thread = b * config.threads_per_block;
+      record.threads = threads_in_block;
+      record.delta = ws.stats.counters_since(before);
+      record.delta.num_blocks = 1;
+      stats_sink_->on_block_stats(record);
+    }
   };
 
   if (pool == 1) {
@@ -112,13 +131,18 @@ KernelStats Device::run_blocks(
   // merged field is an integer sum or max, so the totals are independent of
   // which worker executed which block.
   int peak_reg_words = 0;
-  for (int w = 0; w < pool; ++w) {
-    WorkerState& ws = workers_[static_cast<std::size_t>(w)];
-    stats += ws.stats;
-    if (ws.peak_reg_words > peak_reg_words) peak_reg_words = ws.peak_reg_words;
+  {
+    const obs::ProfSpan merge_span{obs::ProfTag::kStatsMerge};
+    for (int w = 0; w < pool; ++w) {
+      WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+      stats += ws.stats;
+      if (ws.peak_reg_words > peak_reg_words)
+        peak_reg_words = ws.peak_reg_words;
+    }
   }
 
   if (traced) {
+    const obs::ProfSpan replay_span{obs::ProfTag::kDramRowReplay};
     DramRowLru rows;
     for (const TraceSpan& span : block_spans_) {
       const auto& trace =

@@ -30,6 +30,9 @@
 #include "mog/gpusim/fault_hooks.hpp"
 #include "mog/gpusim/stats.hpp"
 #include "mog/gpusim/warp.hpp"
+// Header-only profiler tag primitives (one relaxed load per site when no
+// sampler runs); gpusim does not link mog_obs — see sampler.hpp.
+#include "mog/obs/sampler.hpp"
 
 namespace mog::gpusim {
 
@@ -72,6 +75,7 @@ class BlockCtx {
   /// between consecutive parallel() calls.
   template <typename Fn>
   void parallel(Fn&& fn) {
+    const obs::ProfSpan prof_span{obs::ProfTag::kWarpDispatch};
     const int warps = num_warps();
     for (int w = 0; w < warps; ++w) {
       const int lanes = std::min<int>(kWarpSize,
@@ -92,10 +96,13 @@ class BlockCtx {
       // accumulate in thread-locals (branch-free hot path, see
       // detail::charge / detail::track_alloc); fold them in here, once per
       // warp, while the scope is still installed.
-      detail::flush_charges(stats_);
-      ++stats_.num_warps;
-      if (detail::tl_regs.peak_words > peak_reg_words_)
-        peak_reg_words_ = detail::tl_regs.peak_words;
+      {
+        const obs::ProfSpan flush_span{obs::ProfTag::kChargeFlush};
+        detail::flush_charges(stats_);
+        ++stats_.num_warps;
+        if (detail::tl_regs.peak_words > peak_reg_words_)
+          peak_reg_words_ = detail::tl_regs.peak_words;
+      }
     }
   }
 

@@ -111,6 +111,35 @@ struct KernelStats {
     return *this;
   }
 
+  /// Counter-wise difference against an earlier snapshot of the same
+  /// accumulator: `after.counters_since(before)` is what ran in between.
+  /// Resource fields (regs, threads_per_block, shared bytes) are per-launch
+  /// properties, not counters — they pass through from `*this`. Used by the
+  /// per-block stats seam (Device snapshots the worker accumulator around
+  /// each block).
+  KernelStats counters_since(const KernelStats& before) const {
+    KernelStats d = *this;
+    d.load_instructions -= before.load_instructions;
+    d.store_instructions -= before.store_instructions;
+    d.load_transactions -= before.load_transactions;
+    d.store_transactions -= before.store_transactions;
+    d.rmw_transactions -= before.rmw_transactions;
+    d.bytes_requested_load -= before.bytes_requested_load;
+    d.bytes_requested_store -= before.bytes_requested_store;
+    d.bytes_transferred_load -= before.bytes_transferred_load;
+    d.bytes_transferred_store -= before.bytes_transferred_store;
+    d.dram_page_switches -= before.dram_page_switches;
+    d.branches_executed -= before.branches_executed;
+    d.branches_divergent -= before.branches_divergent;
+    d.issue_cycles -= before.issue_cycles;
+    d.warp_instructions -= before.warp_instructions;
+    d.shared_accesses -= before.shared_accesses;
+    d.shared_cycles -= before.shared_cycles;
+    d.num_blocks -= before.num_blocks;
+    d.num_warps -= before.num_warps;
+    return d;
+  }
+
   /// Per-launch average after accumulating n launches (resource fields are
   /// already per-launch and pass through unchanged). n must be positive:
   /// averaging over zero launches is a caller bookkeeping bug, not a
@@ -180,12 +209,33 @@ void visit_metrics(const KernelStats& s, Fn&& fn) {
   fn("divergence_ratio", 1.0 - s.branch_efficiency(), false);
 }
 
+/// Per-block execution record for spatial attribution (obs::HeatmapSink).
+/// `delta` holds the counters this block contributed; DRAM page switches
+/// are absent from parallel-launch deltas (row locality is a launch-order
+/// property replayed after the blocks finish, not attributable to one
+/// block).
+struct BlockStats {
+  std::int64_t block_id = 0;
+  std::int64_t first_thread = 0;  ///< block_id * threads_per_block
+  int threads = 0;                ///< threads in this block (last may be short)
+  KernelStats delta;
+};
+
 /// Counter export hook: installed on a Device, it observes the finalized
 /// KernelStats of every launch (telemetry::CounterRegistry implements this).
+///
+/// Sinks that also want per-block spatial data override wants_block_stats()
+/// — the Device checks it once per launch and otherwise pays nothing — and
+/// on_block_stats(), which MAY BE CALLED CONCURRENTLY from executor workers
+/// (each block id exactly once per launch, in no particular order); the
+/// override must synchronize itself. on_kernel_launch remains the single
+/// serial end-of-launch call either way.
 class StatsSink {
  public:
   virtual ~StatsSink() = default;
   virtual void on_kernel_launch(const KernelStats& stats) = 0;
+  virtual bool wants_block_stats() const { return false; }
+  virtual void on_block_stats(const BlockStats& /*block*/) {}
 };
 
 }  // namespace mog::gpusim

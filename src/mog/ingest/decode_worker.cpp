@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "mog/common/strutil.hpp"
 #include "mog/ingest/ingest_error.hpp"
 #include "mog/obs/frame_ticket.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
 namespace mog::ingest {
@@ -65,6 +67,8 @@ std::string DecodeWorker::error() const {
 
 void DecodeWorker::run() {
   using clock = std::chrono::steady_clock;
+  obs::prof_set_thread_name(
+      strprintf("decode%d", config_.stream_id).c_str());
   std::uint64_t n = 0;
   while (true) {
     {
@@ -80,6 +84,7 @@ void DecodeWorker::run() {
     // the frame's flow chain, ahead of queue admission.
     const std::uint64_t ticket = obs::mint_frame_ticket();
     try {
+      const obs::ProfSpan decode_span{obs::ProfTag::kDecode};
       got = reader_->next(frame);
     } catch (const IngestError& e) {
       std::lock_guard<std::mutex> lock(mu_);

@@ -41,6 +41,57 @@ void write_all(int fd, const std::string& data) {
 
 }  // namespace
 
+bool percent_decode(std::string_view in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    const auto hex = [](char h) -> int {
+      if (h >= '0' && h <= '9') return h - '0';
+      if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+      if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+      return -1;
+    };
+    if (i + 2 >= in.size()) return false;  // truncated escape
+    const int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+    if (hi < 0 || lo < 0) return false;  // non-hex escape
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return true;
+}
+
+bool parse_query_string(
+    std::string_view in,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  out.clear();
+  if (in.empty()) return true;
+  std::size_t start = 0;
+  while (start <= in.size()) {
+    const std::size_t amp = in.find('&', start);
+    const std::size_t end = amp == std::string_view::npos ? in.size() : amp;
+    const std::string_view pair = in.substr(start, end - start);
+    const std::size_t eq = pair.find('=');
+    if (pair.empty() || eq == std::string_view::npos || eq == 0) return false;
+    std::string key, value;
+    if (!percent_decode(pair.substr(0, eq), key) ||
+        !percent_decode(pair.substr(eq + 1), value))
+      return false;
+    out.emplace_back(std::move(key), std::move(value));
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+  return true;
+}
+
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::handle(std::string path, Handler handler) {
@@ -167,8 +218,18 @@ void HttpServer::serve_loop() {
       request.method = raw.substr(0, sp1);
       request.path = raw.substr(sp1 + 1, sp2 - sp1 - 1);
       const std::size_t query = request.path.find('?');
-      if (query != std::string::npos) request.path.resize(query);
-      response = dispatch(request);
+      bool query_ok = true;
+      if (query != std::string::npos) {
+        query_ok = parse_query_string(
+            std::string_view{request.path}.substr(query + 1), request.query);
+        request.path.resize(query);
+      }
+      if (!query_ok) {
+        response.status = 400;
+        response.body = "malformed query string\n";
+      } else {
+        response = dispatch(request);
+      }
     }
 
     std::string out = strprintf(

@@ -15,15 +15,38 @@
 #include <atomic>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace mog::obs {
 
+/// RFC 3986 percent-decoding ('+' also decodes to space, as browsers send
+/// it in query strings). Returns false on a truncated or non-hex escape.
+bool percent_decode(std::string_view in, std::string& out);
+
+/// Parse "k1=v1&k2=v2" into decoded pairs. Strict: every pair needs a
+/// non-empty key, an '=', and valid escapes; empty segments ("a=1&&b=2")
+/// are malformed. The empty string is a valid empty query. Returns false
+/// (with `out` unspecified) on malformed input — the server maps that to
+/// 400 rather than silently dropping parameters.
+bool parse_query_string(std::string_view in,
+                        std::vector<std::pair<std::string, std::string>>& out);
+
 struct HttpRequest {
   std::string method;
   std::string path;  ///< without query string
+  /// Percent-decoded query parameters in URL order. A syntactically invalid
+  /// query string never reaches a handler — the server answers 400 first.
+  std::vector<std::pair<std::string, std::string>> query;
+
+  /// First value for `key`; nullptr when absent.
+  const std::string* param(std::string_view key) const {
+    for (const auto& [k, v] : query)
+      if (k == key) return &v;
+    return nullptr;
+  }
 };
 
 struct HttpResponse {

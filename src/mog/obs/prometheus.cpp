@@ -54,6 +54,24 @@ std::string escape_label_value(const std::string& value) {
   return out;
 }
 
+/// HELP text escaping per the text-exposition spec: only `\` and newline
+/// are escaped (quotes are legal in HELP text). Without this, a help string
+/// containing a newline splits the exposition mid-comment and the scraper
+/// rejects the whole page.
+std::string escape_help_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
 std::string format_value(double value) {
   if (std::isnan(value)) return "NaN";
   if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
@@ -156,7 +174,7 @@ std::string render(const std::vector<MetricFamily>& families) {
   std::string out;
   for (const MetricFamily& f : families) {
     check_family(f);
-    out += "# HELP " + f.name + " " + f.help + "\n";
+    out += "# HELP " + f.name + " " + escape_help_text(f.help) + "\n";
     out += "# TYPE " + f.name + " ";
     out += to_string(f.type);
     out.push_back('\n');

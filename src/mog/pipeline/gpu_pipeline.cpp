@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "mog/obs/heatmap.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
 namespace mog {
@@ -67,8 +69,17 @@ GpuMogPipeline<T>::GpuMogPipeline(const Config& config)
   }
   // Counter export: a globally installed registry observes every launch of
   // this device (survives ResilientPipeline engine rebuilds, which construct
-  // a fresh pipeline and land here again).
-  device_.set_stats_sink(telemetry::counters());
+  // a fresh pipeline and land here again). A globally installed heatmap
+  // sink (obs::set_heatmap_sink; bench_util under MOG_BENCH_PROFILE) goes
+  // in front and chains to the registry, adding per-block spatial capture
+  // without displacing counter export.
+  gpusim::StatsSink* sink = telemetry::counters();
+  if (obs::HeatmapSink* heat = obs::heatmap_sink()) {
+    heat->bind_frame(config_.width, config_.height);
+    heat->set_chain(sink);
+    sink = heat;
+  }
+  device_.set_stats_sink(sink);
 }
 
 template <typename T>
@@ -84,6 +95,7 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
     {
       auto sp = telemetry::maybe_span("upload", "transfer");
       sp.arg("frame", static_cast<double>(frames_));
+      const obs::ProfSpan prof{obs::ProfTag::kUpload};
       device_.upload(frame_bufs_[0], frame.data(), n);
     }
     gpusim::KernelStats launch_stats;
@@ -113,6 +125,7 @@ bool GpuMogPipeline<T>::process(const FrameU8& frame, FrameU8& fg) {
   {
     auto sp = telemetry::maybe_span("upload", "transfer");
     sp.arg("frame", static_cast<double>(frames_));
+    const obs::ProfSpan prof{obs::ProfTag::kUpload};
     device_.upload(frame_bufs_[static_cast<std::size_t>(pending_)],
                    frame.data(), n);
   }
@@ -165,6 +178,7 @@ void GpuMogPipeline<T>::finish_group() {
 /// the frame pass and is not touched here.
 template <typename T>
 void GpuMogPipeline<T>::run_device_postproc() {
+  const obs::ProfSpan prof{obs::ProfTag::kPostproc};
   const ValidationConfig& v = config_.postproc.validation;
   while (postproc_left_ > 0) {
     const std::size_t i = group_size_cur_ - postproc_left_;
@@ -205,6 +219,7 @@ void GpuMogPipeline<T>::run_device_postproc() {
 
 template <typename T>
 void GpuMogPipeline<T>::download_group_masks() {
+  const obs::ProfSpan prof{obs::ProfTag::kDownload};
   const std::size_t n = state_.num_pixels();
   auto sp = telemetry::maybe_span("download", "transfer");
   sp.arg("masks", static_cast<double>(downloads_left_));

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "mog/common/strutil.hpp"
+#include "mog/obs/flame.hpp"
 #include "mog/obs/frame_ticket.hpp"
 #include "mog/obs/prometheus.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/telemetry/telemetry.hpp"
 
 namespace mog::serve {
@@ -63,10 +65,11 @@ void StreamServer<T>::start_obs_server() {
     r.body = statusz();
     return r;
   });
+  obs_http_.handle("/profilez", obs::profilez_response);
   obs_http_.start(config_.obs_port);
   log_.info("observability endpoint up",
             {{"port", obs_http_.port()},
-             {"endpoints", "/metrics /healthz /statusz"}});
+             {"endpoints", "/metrics /healthz /statusz /profilez"}});
 }
 
 template <typename T>
@@ -244,6 +247,7 @@ int StreamServer<T>::pump() {
 
 template <typename T>
 int StreamServer<T>::pump_locked() {
+  const obs::ProfSpan pump_span{obs::ProfTag::kPump};
   const int n = static_cast<int>(streams_.size());
   if (n == 0) return 0;
 
@@ -459,9 +463,11 @@ void StreamServer<T>::start() {
   stop_requested_ = false;
   running_ = true;
   worker_ = std::thread([this] {
+    obs::prof_set_thread_name((config_.profile_label + ".pump").c_str());
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_requested_) {
       if (pump_locked() > 0) continue;
+      const obs::ProfSpan wait_span{obs::ProfTag::kQueueWait};
       cv_.wait_for(lk, std::chrono::milliseconds(1));
     }
   });

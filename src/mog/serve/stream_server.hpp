@@ -81,12 +81,18 @@ struct ServeConfig {
   /// runs / benches that only need counters.
   bool collect_masks = true;
 
-  /// Observability HTTP endpoint (/metrics, /healthz, /statusz), served from
-  /// a thread the server owns: -1 disables it (default), 0 binds an
-  /// ephemeral loopback port (tests read it back via obs_port()), >0 binds
-  /// that port. The listener runs for the server's whole lifetime, not just
-  /// while the pump thread does — a scrape between pumps is the normal case.
+  /// Observability HTTP endpoint (/metrics, /healthz, /statusz, /profilez),
+  /// served from a thread the server owns: -1 disables it (default), 0 binds
+  /// an ephemeral loopback port (tests read it back via obs_port()), >0
+  /// binds that port. The listener runs for the server's whole lifetime, not
+  /// just while the pump thread does — a scrape between pumps is the normal
+  /// case.
   int obs_port = -1;
+
+  /// Label prefix for this plane's threads in sampling profiles — the pump
+  /// thread shows up as "<profile_label>.pump". DeviceFleet sets "dev<i>"
+  /// per node so one /profilez capture attributes across devices.
+  std::string profile_label = "serve";
 
   void validate() const;
 };

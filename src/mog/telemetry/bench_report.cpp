@@ -1,8 +1,10 @@
 #include "mog/telemetry/bench_report.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <ctime>
 #include <filesystem>
+#include <thread>
 
 #include "mog/common/strutil.hpp"
 #include "mog/gpusim/device_spec.hpp"
@@ -29,6 +31,46 @@ std::string build_type() {
 #else
   return "debug";
 #endif
+}
+
+/// Compile-flag summary assembled from predefined macros — honest about
+/// what we can know from inside the binary (optimization level and the ISA
+/// features the compiler was allowed to use), which is what matters when
+/// comparing wall_/prof_ numbers across machines.
+std::string compile_flags() {
+  std::string flags;
+#if defined(__OPTIMIZE__)
+  flags += "optimized";
+#else
+  flags += "unoptimized";
+#endif
+#if defined(NDEBUG)
+  flags += " ndebug";
+#endif
+#if defined(__AVX512F__)
+  flags += " avx512f";
+#elif defined(__AVX2__)
+  flags += " avx2";
+#elif defined(__AVX__)
+  flags += " avx";
+#elif defined(__SSE4_2__)
+  flags += " sse4.2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  flags += " sse2";
+#endif
+#if defined(__FMA__)
+  flags += " fma";
+#endif
+#if defined(__aarch64__)
+  flags += " neon";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  flags += " asan";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  flags += " tsan";
+#endif
+  return flags;
 }
 
 std::string utc_timestamp() {
@@ -78,6 +120,21 @@ Json BenchReporter::to_json() const {
                : gpusim::resolved_executor_threads(0));
   root.set("host", std::move(host));
 
+  // Environment block: everything needed to judge whether two reports'
+  // wall_/prof_ numbers are comparable across machines. Informational only
+  // — bench_gate walks the baseline's cases/metrics, so this never gates.
+  Json env = Json::object();
+  env.set("compiler", compiler_id());
+  env.set("flags", compile_flags());
+  env.set("hw_threads",
+          static_cast<int>(std::thread::hardware_concurrency()));
+  const char* executor_env = std::getenv("MOG_EXECUTOR_THREADS");
+  env.set("mog_executor_threads", executor_env != nullptr ? executor_env : "");
+  env.set("executor_threads",
+          executor_threads_ > 0 ? executor_threads_
+                                : gpusim::resolved_executor_threads(0));
+  root.set("env", std::move(env));
+
   Json workload = Json::object();
   workload.set("width", width_);
   workload.set("height", height_);
@@ -100,6 +157,7 @@ Json BenchReporter::to_json() const {
     cases.push_back(std::move(jc));
   }
   root.set("cases", std::move(cases));
+  if (!profile_.is_null()) root.set("prof", profile_);
   return root;
 }
 

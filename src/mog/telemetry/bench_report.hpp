@@ -7,17 +7,20 @@
 //     "schema_version": 1,
 //     "bench": "<name>",
 //     "host": {"compiler": ..., "build_type": ..., "timestamp_utc": ...},
+//     "env": {"compiler": ..., "flags": ..., "hw_threads": N,
+//             "mog_executor_threads": "...", "executor_threads": N},
 //     "workload": {"width": W, "height": H, "frames": N},
 //     "tolerances": {"<metric>": <relative tolerance>, ...},   // optional
 //     "cases": [
 //       {"name": "<case>", "metrics": {"<metric>": <number>, ...}}, ...
-//     ]
+//     ],
+//     "prof": {...}   // optional sampling-profile block (MOG_BENCH_PROFILE)
 //   }
 //
 // Conventions: metrics prefixed "wall_" are wall-clock measurements and are
 // skipped by the regression gate (everything else in this repo is a
-// deterministic simulation output and is gated). The "host" block is
-// informational and never compared.
+// deterministic simulation output and is gated). The "host", "env" and
+// "prof" blocks are informational and never compared.
 #pragma once
 
 #include <string>
@@ -87,6 +90,12 @@ class BenchReporter {
     tolerances_.emplace_back(metric, rel_tol);
   }
 
+  /// Attach a sampling-profile block (emitted as root key "prof"). The
+  /// reporter treats it as opaque JSON — obs::profile_report_json builds
+  /// it — so telemetry stays independent of the profiler. Like "host" and
+  /// "env", the gate never compares it.
+  void set_profile(Json prof) { profile_ = std::move(prof); }
+
   /// Add (or reopen) a case; the reference stays valid until the next add.
   Case& add_case(const std::string& name);
 
@@ -104,6 +113,7 @@ class BenchReporter {
   int executor_threads_ = 0;  ///< 0 = resolve the device default at dump time
   std::vector<std::pair<std::string, double>> tolerances_;
   std::vector<Case> cases_;
+  Json profile_;  ///< null until set_profile(); emitted as "prof"
 };
 
 }  // namespace mog::telemetry

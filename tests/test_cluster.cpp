@@ -18,6 +18,7 @@
 #include "mog/cluster/placement.hpp"
 #include "mog/common/strutil.hpp"
 #include "mog/fault/fault_injector.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/pipeline/gpu_pipeline.hpp"
 #include "mog/video/scene.hpp"
 
@@ -266,6 +267,49 @@ TEST(DeviceFleet, RepeatedLaunchFailuresTriggerAutomaticFailover) {
 
   // The healthy stream never left its device and kept bit-exact service.
   const std::vector<FrameU8> expected = solo_masks(32, kFrames);
+  const std::vector<FrameU8> served = fleet.take_masks(healthy);
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(served[i], expected[i]) << "frame " << i;
+}
+
+TEST(DeviceFleet, SamplerCaptureDuringFailoverStaysBitIdentical) {
+  // A profile capture running across a device failure must neither disturb
+  // the failover (masks stay bit-identical) nor crash when the victim's
+  // threads disappear mid-capture.
+  FleetConfig cfg = fleet_config(2);
+  cfg.serve.resilience.retry.max_attempts = 2;
+  cfg.serve.resilience.degrade_after_failures = 1;
+
+  fault::FaultConfig storm;
+  storm.launch_fault_prob = 1.0;
+
+  DeviceFleet<double> fleet{cfg};
+  fleet.set_device_injector(0, std::make_shared<fault::FaultInjector>(storm));
+  const int a = fleet.open_stream(gpu_config());
+  const int b = fleet.open_stream(gpu_config());
+  const int victim = fleet.stream_device(a) == 0 ? a : b;
+  const int healthy = victim == a ? b : a;
+
+  ASSERT_TRUE(obs::Sampler::global().start(2000));
+
+  constexpr int kFrames = 4;
+  for (int t = 0; t < kFrames; ++t) {
+    ASSERT_TRUE(fleet.submit(victim, scene_for(61).frame(t)));
+    ASSERT_TRUE(fleet.submit(healthy, scene_for(62).frame(t)));
+  }
+  fleet.drain();
+
+  obs::Sampler::global().stop();
+  const obs::FlameProfile profile = obs::Sampler::global().take();
+  EXPECT_GT(profile.ticks, 0u);
+
+  // The failover completed under the sampler...
+  EXPECT_FALSE(fleet.device_alive(0));
+  EXPECT_EQ(fleet.stream_device(victim), 1);
+  EXPECT_EQ(fleet.frames_dropped(), 0u);
+  // ...and service stayed bit-identical on the healthy stream.
+  const std::vector<FrameU8> expected = solo_masks(62, kFrames);
   const std::vector<FrameU8> served = fleet.take_masks(healthy);
   ASSERT_EQ(served.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i)

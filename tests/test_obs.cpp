@@ -11,16 +11,21 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mog/fault/fault_injector.hpp"
+#include "mog/obs/flame.hpp"
 #include "mog/obs/frame_ticket.hpp"
+#include "mog/obs/heatmap.hpp"
 #include "mog/obs/http_server.hpp"
 #include "mog/obs/log.hpp"
 #include "mog/obs/prometheus.hpp"
+#include "mog/obs/sampler.hpp"
 #include "mog/serve/stream_server.hpp"
 #include "mog/telemetry/telemetry.hpp"
 #include "mog/video/scene.hpp"
@@ -198,6 +203,34 @@ TEST(Prometheus, ValidatorRejectsMalformedPages) {
   EXPECT_NE(obs::validate_exposition("bad-name 1\n"), "");
   EXPECT_NE(obs::validate_exposition("# TYPE x gauge\ny 1\n"), "");
   EXPECT_NE(obs::validate_exposition("x{label=\"unterminated} 1\n"), "");
+}
+
+TEST(Prometheus, AdversarialLabelValuesAndHelpEscapeCleanly) {
+  // Stream names are operator-controlled; backslashes, quotes and newlines
+  // must come out as the spec's escape sequences, never as raw bytes that
+  // break the line-oriented grammar.
+  MetricFamily f;
+  f.name = "mog_serve_frames_submitted_total";
+  f.help = "per-stream \\ backslash and\nan embedded newline";
+  f.type = MetricType::kCounter;
+  f.samples = {{{{"stream", "cam\\1"}}, 1.0},
+               {{{"stream", "quote\"inside"}}, 2.0},
+               {{{"stream", "new\nline"}}, 3.0},
+               {{{"stream", "trailing\\"}}, 4.0}};
+
+  const std::string page = obs::render({f});
+  EXPECT_EQ(obs::validate_exposition(page), "") << page;
+  EXPECT_NE(page.find("stream=\"cam\\\\1\""), std::string::npos) << page;
+  EXPECT_NE(page.find("stream=\"quote\\\"inside\""), std::string::npos)
+      << page;
+  EXPECT_NE(page.find("stream=\"new\\nline\""), std::string::npos) << page;
+  EXPECT_NE(page.find("stream=\"trailing\\\\\""), std::string::npos) << page;
+  EXPECT_NE(page.find("# HELP mog_serve_frames_submitted_total per-stream "
+                      "\\\\ backslash and\\nan embedded newline\n"),
+            std::string::npos)
+      << page;
+  // Exactly HELP + TYPE + four sample lines: nothing leaked a raw newline.
+  EXPECT_EQ(std::count(page.begin(), page.end(), '\n'), 6);
 }
 
 TEST(Prometheus, SanitizeMetricName) {
@@ -396,6 +429,65 @@ TEST(Http, HardeningKnobsRejectMisuse) {
   server.start(0);
   EXPECT_THROW(server.set_read_timeout(1.0), Error);       // while running
   EXPECT_THROW(server.set_max_request_bytes(4096), Error);  // while running
+  server.stop();
+}
+
+TEST(Http, PercentDecodeAndQueryStringParsing) {
+  std::string out;
+  EXPECT_TRUE(obs::percent_decode("plain", out));
+  EXPECT_EQ(out, "plain");
+  EXPECT_TRUE(obs::percent_decode("a%20b+c%2Fd%41", out));
+  EXPECT_EQ(out, "a b c/dA");
+  EXPECT_TRUE(obs::percent_decode("", out));
+  EXPECT_EQ(out, "");
+  EXPECT_FALSE(obs::percent_decode("truncated%2", out));
+  EXPECT_FALSE(obs::percent_decode("truncated%", out));
+  EXPECT_FALSE(obs::percent_decode("nonhex%G1", out));
+
+  std::vector<std::pair<std::string, std::string>> q;
+  EXPECT_TRUE(obs::parse_query_string("", q));
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(obs::parse_query_string("a=1&b=two%20words&a=3", q));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(q[1], (std::pair<std::string, std::string>{"b", "two words"}));
+  EXPECT_EQ(q[2], (std::pair<std::string, std::string>{"a", "3"}));
+  EXPECT_TRUE(obs::parse_query_string("empty=", q));  // empty value is fine
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].second, "");
+
+  EXPECT_FALSE(obs::parse_query_string("=1", q));        // empty key
+  EXPECT_FALSE(obs::parse_query_string("bare", q));      // no '='
+  EXPECT_FALSE(obs::parse_query_string("a=1&&b=2", q));  // empty pair
+  EXPECT_FALSE(obs::parse_query_string("a=1&", q));      // trailing empty pair
+  EXPECT_FALSE(obs::parse_query_string("a=%zz", q));     // bad escape
+}
+
+TEST(Http, QueryParamsDecodedAndMalformedQueryGets400) {
+  HttpServer server;
+  server.handle("/echo", [](const HttpRequest& req) {
+    HttpResponse resp;
+    const std::string* x = req.param("x");
+    resp.body = x != nullptr ? *x : "<missing>";
+    return resp;
+  });
+  server.start(0);
+
+  EXPECT_EQ(body_of(http_get(server.port(), "/echo?x=hello%20world&y=1")),
+            "hello world");
+  EXPECT_EQ(body_of(http_get(server.port(), "/echo?x=a%2Fb+c")), "a/b c");
+  EXPECT_EQ(body_of(http_get(server.port(), "/echo")), "<missing>");
+
+  // Malformed query strings are rejected before dispatch, and the server
+  // keeps serving afterwards.
+  for (const char* target :
+       {"/echo?x=%G1", "/echo?noequals", "/echo?=1", "/echo?a=1&&b=2"}) {
+    const std::string resp = http_get(server.port(), target);
+    EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos) << target;
+    EXPECT_NE(body_of(resp).find("malformed query string"), std::string::npos)
+        << target;
+  }
+  EXPECT_EQ(body_of(http_get(server.port(), "/echo?x=ok")), "ok");
   server.stop();
 }
 
@@ -598,6 +690,296 @@ TEST(ServerObs, ObsPortDisabledByDefault) {
   EXPECT_TRUE(server.healthz(detail));
   EXPECT_EQ(obs::validate_exposition(server.metrics_text()), "");
   EXPECT_FALSE(server.statusz().empty());
+}
+
+// --- sampling profiler -------------------------------------------------------
+
+TEST(Sampler, StartStopDoubleStartAndTake) {
+  obs::Sampler sampler;
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // stop before start is a no-op
+  EXPECT_THROW(sampler.start(0), Error);      // below range
+  EXPECT_THROW(sampler.start(30000), Error);  // above range
+
+  ASSERT_TRUE(sampler.start(500));
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.start(500)) << "double start must be refused";
+  // One running sampler process-wide: a second instance is refused too.
+  EXPECT_FALSE(obs::Sampler::global().start(500));
+  EXPECT_THROW(sampler.take(), Error);  // take() requires stop() first
+
+  {
+    const obs::ProfSpan span{obs::ProfTag::kDecode};
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  sampler.stop();
+  sampler.stop();  // idempotent
+  EXPECT_FALSE(sampler.running());
+
+  const obs::FlameProfile profile = sampler.take();
+  EXPECT_EQ(profile.hz, 500);
+  EXPECT_GT(profile.seconds, 0.0);
+  EXPECT_GT(profile.ticks, 0u);
+  EXPECT_TRUE(sampler.take().empty()) << "take() clears the stored profile";
+
+  // The registry is re-armed after stop: a fresh capture works.
+  ASSERT_TRUE(obs::Sampler::global().start(500));
+  obs::Sampler::global().stop();
+  obs::Sampler::global().take();
+}
+
+TEST(Sampler, TagStackOverflowTruncatesButKeepsCounting) {
+  obs::Sampler sampler;
+  ASSERT_TRUE(sampler.start(4000));
+
+  std::thread deep([] {
+    obs::prof_set_thread_name("deep");
+    // 20 nested spans: the published stack caps at kProfMaxDepth frames,
+    // the 4 pushes beyond it are tallied, and the pops balance on unwind.
+    std::vector<std::unique_ptr<obs::ProfSpan>> spans;
+    for (int i = 0; i < 20; ++i)
+      spans.push_back(
+          std::make_unique<obs::ProfSpan>(obs::ProfTag::kWarpDispatch));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    while (!spans.empty()) spans.pop_back();
+    // After full unwind the thread samples as idle, not as a corrupt stack.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  deep.join();
+  sampler.stop();
+
+  const obs::FlameProfile profile = sampler.take();
+  EXPECT_GE(profile.truncated, 4u);
+  bool saw_capped = false;
+  for (const obs::FlameStack& stack : profile.stacks) {
+    if (stack.thread != "deep") continue;
+    EXPECT_LE(stack.frames.size(), obs::kProfMaxDepth);
+    if (stack.frames.size() == obs::kProfMaxDepth) {
+      saw_capped = true;
+      for (const std::string& frame : stack.frames)
+        EXPECT_EQ(frame, "warp_dispatch");
+    }
+  }
+  EXPECT_TRUE(saw_capped) << "expected a depth-capped stack from 'deep'";
+}
+
+TEST(Flame, CollapsedRoundTripGolden) {
+  obs::FlameProfile profile;
+  profile.hz = 997;
+  profile.stacks = {
+      {"exec0", {"kernel_launch", "warp_dispatch", "coalescer_access"}, 42},
+      {"exec0", {"kernel_launch", "warp_dispatch"}, 17},
+      {"serve.pump", {"pump"}, 9},
+      {"decode1", {}, 5},  // idle
+  };
+  profile.samples = 68;
+  profile.idle = 5;
+
+  const std::string text = obs::render_collapsed(profile);
+  EXPECT_EQ(text,
+            "exec0;kernel_launch;warp_dispatch;coalescer_access 42\n"
+            "exec0;kernel_launch;warp_dispatch 17\n"
+            "serve.pump;pump 9\n"
+            "decode1;(idle) 5\n");
+
+  const obs::FlameProfile parsed = obs::parse_collapsed(text);
+  ASSERT_EQ(parsed.stacks.size(), profile.stacks.size());
+  for (std::size_t i = 0; i < parsed.stacks.size(); ++i) {
+    EXPECT_EQ(parsed.stacks[i].thread, profile.stacks[i].thread);
+    EXPECT_EQ(parsed.stacks[i].frames, profile.stacks[i].frames);
+    EXPECT_EQ(parsed.stacks[i].count, profile.stacks[i].count);
+  }
+  EXPECT_EQ(parsed.samples, 68u);
+  EXPECT_EQ(parsed.idle, 5u);
+  EXPECT_EQ(obs::render_collapsed(parsed), text) << "round-trip is stable";
+
+  EXPECT_THROW(obs::parse_collapsed("nocount\n"), Error);
+  EXPECT_THROW(obs::parse_collapsed(";frame 1\n"), Error);      // empty thread
+  EXPECT_THROW(obs::parse_collapsed("t;;frame 1\n"), Error);    // empty frame
+  EXPECT_THROW(obs::parse_collapsed("t;frame 12x\n"), Error);   // bad count
+}
+
+TEST(Flame, ReportJsonAndSpeedscopeExports) {
+  obs::FlameProfile profile;
+  profile.hz = 199;
+  profile.seconds = 0.5;
+  profile.ticks = 100;
+  profile.samples = 30;
+  profile.idle = 10;
+  profile.truncated = 2;
+  profile.stacks = {{"exec0", {"kernel_launch", "warp_dispatch"}, 30},
+                    {"exec0", {}, 10}};
+
+  const telemetry::Json prof = obs::profile_report_json(profile);
+  const obs::FlameProfile back = obs::profile_from_report_json(prof);
+  EXPECT_EQ(back.hz, 199);
+  EXPECT_DOUBLE_EQ(back.seconds, 0.5);
+  EXPECT_EQ(back.ticks, 100u);
+  EXPECT_EQ(back.samples, 30u);
+  EXPECT_EQ(back.idle, 10u);
+  EXPECT_EQ(back.truncated, 2u);
+  EXPECT_EQ(obs::render_collapsed(back), obs::render_collapsed(profile));
+
+  const telemetry::Json scope = obs::render_speedscope(profile);
+  EXPECT_NE(scope.find("$schema"), nullptr);
+  ASSERT_NE(scope.find("shared"), nullptr);
+  ASSERT_NE(scope.find("profiles"), nullptr);
+  EXPECT_EQ(scope.find("profiles")->as_array().size(), 1u);  // one thread
+  const telemetry::Json& entry = scope.find("profiles")->as_array()[0];
+  EXPECT_EQ(entry.find("type")->as_string(), "sampled");
+  EXPECT_EQ(entry.find("samples")->as_array().size(), 2u);
+  // The table renderer mentions the truncation so it is never silent.
+  EXPECT_NE(obs::render_flame_table(profile).find("truncated"),
+            std::string::npos);
+}
+
+// --- per-block heatmaps ------------------------------------------------------
+
+TEST(Heatmap, BinsBlockDeltasByPixelOverlap) {
+  obs::HeatmapSink sink;
+  sink.bind_frame(32, 16, 8);  // 4x2 cells, 8x8 px each
+  gpusim::KernelStats launch;
+  sink.on_kernel_launch(launch);
+
+  // One block covering the top half of the frame (rows 0..7): its weight
+  // spreads evenly over the four top cells, and the bottom row stays cold.
+  gpusim::BlockStats top;
+  top.block_id = 0;
+  top.first_thread = 0;
+  top.threads = 256;
+  top.delta.issue_cycles = 400;
+  top.delta.branches_executed = 80;
+  top.delta.branches_divergent = 20;
+  top.delta.load_instructions = 30;
+  top.delta.store_instructions = 10;
+  top.delta.load_transactions = 100;
+  top.delta.bytes_transferred_load = 6400;
+  sink.on_block_stats(top);
+
+  const obs::Heatmap map = sink.snapshot();
+  EXPECT_EQ(map.cells_x, 4);
+  EXPECT_EQ(map.cells_y, 2);
+  EXPECT_EQ(map.launches, 1u);
+  EXPECT_EQ(map.blocks, 1u);
+  ASSERT_EQ(map.issue_cycles.size(), 8u);
+  for (int cx = 0; cx < 4; ++cx) {
+    EXPECT_DOUBLE_EQ(map.issue_cycles[cx], 100.0) << "top cell " << cx;
+    EXPECT_DOUBLE_EQ(map.issue_cycles[4 + cx], 0.0) << "bottom cell " << cx;
+  }
+  double total = 0;
+  for (const double v : map.dram_bytes) total += v;
+  EXPECT_DOUBLE_EQ(total, 6400.0) << "distribution conserves the block total";
+
+  // Derived views: divergence ratio and coalescing replay per cell.
+  const std::vector<double> div = obs::divergence_grid(map);
+  EXPECT_DOUBLE_EQ(div[0], 0.25);
+  const std::vector<double> replay = obs::replay_grid(map);
+  EXPECT_DOUBLE_EQ(replay[0], 25.0 - 10.0);  // transactions - mem insts
+
+  // A block entirely past the frame (fused-epilogue halo) is ignored.
+  gpusim::BlockStats halo;
+  halo.first_thread = 32 * 16;
+  halo.threads = 64;
+  halo.delta.issue_cycles = 999;
+  sink.on_block_stats(halo);
+  EXPECT_EQ(sink.snapshot().blocks, 1u);
+
+  // Rebinding with the same geometry keeps accumulating; a new geometry
+  // resets.
+  sink.bind_frame(32, 16, 8);
+  EXPECT_EQ(sink.snapshot().blocks, 1u);
+  sink.bind_frame(64, 16, 8);
+  EXPECT_EQ(sink.snapshot().blocks, 0u);
+}
+
+TEST(Heatmap, JsonRoundTripAndRenderers) {
+  obs::HeatmapSink sink;
+  sink.bind_frame(16, 16, 8);  // 2x2 cells
+  gpusim::BlockStats block;
+  block.first_thread = 0;
+  block.threads = 16 * 16;
+  block.delta.issue_cycles = 1000;
+  block.delta.load_transactions = 40;
+  block.delta.load_instructions = 10;
+  sink.on_block_stats(block);
+  const obs::Heatmap map = sink.snapshot();
+
+  const telemetry::Json doc = obs::heatmap_to_json(map);
+  EXPECT_EQ(doc.find("schema")->as_string(), "mog-heatmap-v1");
+  const obs::Heatmap back = obs::heatmap_from_json(doc);
+  EXPECT_EQ(back.width, map.width);
+  EXPECT_EQ(back.cells_x, map.cells_x);
+  EXPECT_EQ(back.blocks, map.blocks);
+  EXPECT_EQ(back.issue_cycles, map.issue_cycles);
+  EXPECT_EQ(back.transactions, map.transactions);
+
+  telemetry::Json bad = obs::heatmap_to_json(map);
+  bad.set("schema", "not-a-heatmap");
+  EXPECT_THROW(obs::heatmap_from_json(bad), Error);
+
+  const std::string pgm =
+      obs::heatmap_to_pgm(map.issue_cycles, map.cells_x, map.cells_y);
+  EXPECT_EQ(pgm.substr(0, 9), "P2\n2 2\n25");
+  EXPECT_NE(pgm.find("255"), std::string::npos);  // hottest cell saturates
+  const std::string csv =
+      obs::heatmap_to_csv(map.issue_cycles, map.cells_x, map.cells_y);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(obs::render_heatmap_summary(map).find("hottest"),
+            std::string::npos);
+}
+
+// --- GET /profilez -----------------------------------------------------------
+
+TEST(Profilez, CapturesOverHttpWith400And503Paths) {
+  HttpServer server;
+  server.handle("/profilez", obs::profilez_response);
+  server.start(0);
+
+  // Keep a tagged thread busy so the capture has something to see.
+  std::atomic<bool> stop{false};
+  std::thread busy([&stop] {
+    obs::prof_set_thread_name("busy");
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::ProfSpan span{obs::ProfTag::kDecode};
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const std::string ok =
+      http_get(server.port(), "/profilez?seconds=0.15&hz=2000");
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos) << ok;
+  EXPECT_NE(body_of(ok).find("busy;decode"), std::string::npos) << ok;
+
+  const std::string scope = http_get(
+      server.port(), "/profilez?seconds=0.05&hz=500&format=speedscope");
+  EXPECT_NE(scope.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(body_of(scope).find("speedscope.app"), std::string::npos);
+
+  const std::string table =
+      http_get(server.port(), "/profilez?seconds=0.05&hz=500&format=table");
+  EXPECT_NE(table.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(body_of(table).find("frame"), std::string::npos);
+
+  stop.store(true, std::memory_order_relaxed);
+  busy.join();
+
+  // Out-of-range or unparsable knobs are a client error, not a capture.
+  for (const char* target :
+       {"/profilez?seconds=31", "/profilez?seconds=abc", "/profilez?hz=0",
+        "/profilez?hz=99999", "/profilez?format=xml"}) {
+    EXPECT_NE(http_get(server.port(), target).find("HTTP/1.1 400"),
+              std::string::npos)
+        << target;
+  }
+
+  // A capture already in flight (here: a long-running manual one) gets 503.
+  ASSERT_TRUE(obs::Sampler::global().start(50));
+  const std::string b = http_get(server.port(), "/profilez?seconds=0.05");
+  EXPECT_NE(b.find("HTTP/1.1 503"), std::string::npos) << b;
+  obs::Sampler::global().stop();
+  obs::Sampler::global().take();
+
+  server.stop();
 }
 
 }  // namespace
